@@ -1,0 +1,53 @@
+"""E1 — Theorem 5: centralized broadcast scaling in n (DESIGN.md §4).
+
+Regenerates the schedule-length-vs-n table for the Theorem 5 algorithm and
+its baselines, plus the A1/A2/A3 ablations of the scheduler's design
+choices (DESIGN.md §5).
+"""
+
+import numpy as np
+import pytest
+
+from repro.broadcast.centralized import ElsasserGasieniecScheduler
+from repro.experiments import run_experiment
+from repro.graphs import gnp_connected
+from repro.radio import RadioNetwork, verify_schedule
+
+
+def test_e01_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E1", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    eg = result.column("eg mean")
+    seq = result.column("sequential mean")
+    ns = result.column("n")
+    # Shape assertions: EG grows sublinearly, sequential ~ linearly in n.
+    assert eg[-1] / eg[0] < 2.0
+    assert seq[-1] / seq[0] > 4.0
+    assert np.all(seq > eg)
+
+
+@pytest.mark.parametrize(
+    "label,kwargs",
+    [
+        ("baseline", {}),
+        ("A1-singleton-cleanup", {"cleanup": "singleton"}),
+        ("A2-no-parity", {"use_parity": False}),
+        ("A3-reused-fractions", {"fresh_fractions": False}),
+        ("A4-half-selectivity", {"selectivity": 0.5}),
+        ("A4-double-selectivity", {"selectivity": 2.0}),
+    ],
+)
+def test_e01_scheduler_ablations(benchmark, label, kwargs):
+    """A1–A4: schedule length under each design-choice ablation."""
+    n, d = 600, 16.0
+    g = gnp_connected(n, d / n, seed=42)
+
+    def build():
+        return ElsasserGasieniecScheduler(seed=1, **kwargs).build(g, 0)
+
+    schedule = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert verify_schedule(RadioNetwork(g), schedule, 0)
+    print(f"\n[E1 ablation {label}] rounds={len(schedule)} "
+          f"transmissions={schedule.total_transmissions}")

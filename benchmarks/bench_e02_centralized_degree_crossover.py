@@ -1,0 +1,20 @@
+"""E2 — Theorem 5: the ln n/ln d vs ln d crossover in d (DESIGN.md §4)."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e02_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E2", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    means = result.column("eg mean")
+    ds = result.column("d")
+    # The sweep is not monotone: a minimum exists strictly inside the
+    # range (the crossover), i.e. the largest-d time exceeds the minimum.
+    assert means[-1] > means.min()
+    # The measured minimum sits at moderate degree, not at either extreme.
+    argmin_d = ds[int(np.argmin(means))]
+    assert ds.min() <= argmin_d < ds.max()

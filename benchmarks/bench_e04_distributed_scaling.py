@@ -1,0 +1,52 @@
+"""E4 — Theorem 7: distributed randomized broadcast is O(ln n).
+
+Also carries the A4 transmit-probability ablation for the distributed
+protocol (selectivity sweep).
+"""
+
+import numpy as np
+import pytest
+
+from repro.broadcast.distributed import EGRandomizedProtocol
+from repro.experiments import run_experiment
+from repro.experiments.runner import protocol_times
+from repro.graphs import gnp_connected
+from repro.radio import RadioNetwork
+
+
+def test_e04_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E4", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    for name in ("d = 4 ln n vs ln n", "d = sqrt(n) vs ln n"):
+        assert result.fits[name].slope > 0
+    # Sublinear growth: 16x the nodes, < 3x the rounds.
+    means = result.column("d = 4 ln n mean")
+    assert means[-1] / means[0] < 3.0
+
+
+@pytest.mark.parametrize("selectivity", [0.25, 0.5, 1.0, 2.0, 4.0])
+def test_e04_selectivity_ablation(benchmark, selectivity):
+    """A4: completion time as the selective probability c/d varies."""
+    import math
+
+    n = 1024
+    p = 4 * math.log(n) / n
+    g = gnp_connected(n, p, seed=77)
+    net = RadioNetwork(g)
+
+    def run():
+        return protocol_times(
+            net,
+            EGRandomizedProtocol(n, p, selectivity=selectivity),
+            repetitions=5,
+            seed=3,
+            p=p,
+            max_rounds=5000,
+        )
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    finite = times[np.isfinite(times)]
+    assert finite.size >= 4  # at most one budget miss tolerated
+    print(f"\n[E4 ablation selectivity={selectivity}] mean={finite.mean():.1f}")

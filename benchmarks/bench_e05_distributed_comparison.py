@@ -1,0 +1,17 @@
+"""E5 — Theorem 7 vs baselines: EG beats Decay on G(n, p)."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e05_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E5", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    # Who wins: EG beats Decay at every size; the factor is > 1.3.
+    ratios = result.column("decay / eg")
+    assert np.all(ratios > 1.3)
+    # Uniform 1/d pays a start-up penalty over EG at every size.
+    assert np.all(result.column("uniform 1/d mean") > result.column("eg mean"))

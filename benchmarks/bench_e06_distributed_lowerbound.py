@@ -1,0 +1,17 @@
+"""E6 — Theorem 8: the best oblivious protocol still needs Ω(ln n)."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e06_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E6", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    # Growth: the family minimum increases with n and keeps a positive
+    # ln n slope (the lower-bound signature).
+    assert result.fits["best vs ln n"].slope > 0
+    ratios = result.column("best / ln n")
+    assert np.all(ratios > 0.8)

@@ -1,0 +1,17 @@
+"""E7 — Lemma 3: BFS layer sizes grow like d^i."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e07_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E7", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    # Geometric growth: both normalized layer sizes near 1.
+    assert np.all(np.abs(result.column("|T1|/d") - 1.0) < 0.5)
+    assert np.all(np.abs(result.column("|T2|/d^2") - 1.0) < 0.6)
+    # O(1) big layers at every size.
+    assert np.all(result.column("layers >= n/d") <= 4)

@@ -1,0 +1,16 @@
+"""E8 — Lemma 3: BFS balls are almost trees."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e08_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E8", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    # All normalized statistics stay O(1) — bounded, not growing with n.
+    assert np.all(result.column("multi-parent frac (layer 2) * d^2") < 30)
+    assert np.all(result.column("intra-layer edges / |T_2|") < 2.0)
+    assert np.all(result.column("max sibling group / d (layer 2)") < 4.0)

@@ -1,0 +1,19 @@
+"""E9 — Lemma 4 + Proposition 2: covers and matchings between random sets."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e09_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E9", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    coverage = result.column("indep-cover coverage")
+    completeness = result.column("matching completeness")
+    # Lemma 4 part 1: a constant fraction covered in every regime.
+    assert np.all(coverage > 0.25)
+    # Part 2: completeness approaches 1 as |X|/|Y| reaches d².
+    assert completeness[-1] > 0.9
+    assert np.all(np.diff(completeness) > -0.05)  # increasing in |X|/|Y|

@@ -1,0 +1,24 @@
+"""E10 — dense regime: Θ(ln n / ln(1/f)) rounds for p = 1 - f(n)."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e10_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E10", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    fit = result.fits["rounds vs ln n/ln(1/f)"]
+    assert fit.slope > 0
+    assert fit.r_squared > 0.7
+    # Within each n, smaller f (denser graph) means fewer rounds.
+    rows = result.rows
+    by_n = {}
+    for r in rows:
+        by_n.setdefault(r["n"], []).append((r["f"], r["rounds mean"]))
+    for n, series in by_n.items():
+        series.sort(reverse=True)  # descending f
+        rounds = [t for _, t in series]
+        assert rounds[0] >= rounds[-1]

@@ -1,0 +1,19 @@
+"""E11 — radio vs single-port: collisions cost a constant factor on G(n,p)."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e11_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E11", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    ratios = result.column("radio / push")
+    # Same growth law: the ratio stays within constant bounds across the
+    # ladder rather than drifting with n.
+    assert np.all(ratios < 4.0)
+    assert np.all(ratios > 0.25)
+    # Push-pull is the fastest of the three everywhere.
+    assert np.all(result.column("push-pull mean") <= result.column("push mean"))

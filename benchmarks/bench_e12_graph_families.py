@@ -1,0 +1,21 @@
+"""E12 — graph-family robustness: the diameter penalty outside expanders."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e12_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E12", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    rows = {r["family"]: r for r in result.rows}
+    torus = next(k for k in rows if k.startswith("torus"))
+    # The torus (diameter 32) pays the diameter at both protocols.
+    assert rows[torus]["eg mean"] > 2 * rows["gnp d=16"]["eg mean"]
+    assert rows[torus]["decay mean"] > 2 * rows["gnp d=16"]["decay mean"]
+    # Random-regular behaves like G(n,p) (within 2x).
+    assert (
+        rows["random-regular d=16"]["eg mean"] < 2 * rows["gnp d=16"]["eg mean"]
+    )

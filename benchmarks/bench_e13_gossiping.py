@@ -1,0 +1,23 @@
+"""E13 — gossiping (the paper's open problem): Θ(d ln n) at uniform rates."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e13_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E13", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    # Gossip is strictly harder than broadcast at every size, and the gap
+    # widens with d — the channel-injection bottleneck.
+    ratios = result.column("gossip / broadcast")
+    assert np.all(ratios > 1.5)
+    assert ratios[-1] > ratios[0]
+    assert result.fits["gossip vs d ln n"].slope > 0
+    # Most of the time goes to accumulating (injecting rumors), not the
+    # final dissemination.
+    first = result.column("first-complete-node mean")
+    total = result.column("gossip mean (uniform 1/d)")
+    assert np.all(first > 0.5 * total)

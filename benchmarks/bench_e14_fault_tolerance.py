@@ -1,0 +1,24 @@
+"""E14 — fault tolerance: graceful degradation under lossy links + crashes."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e14_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E14", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    eg = result.column("eg mean")
+    decay = result.column("decay mean")
+    rel = result.column("link reliability")
+    # At full reliability EG keeps its speed advantage.
+    assert eg[0] < decay[0]
+    # Degradation: EG at the lossiest setting is slower than EG clean.
+    finite_eg = eg[np.isfinite(eg)]
+    assert finite_eg[-1] > finite_eg[0]
+    # Both protocols still succeed at moderate loss (reliability >= 0.5).
+    ok_rows = rel >= 0.5
+    assert np.all(result.column("eg success")[ok_rows] >= 0.8)
+    assert np.all(result.column("decay success")[ok_rows] >= 0.8)

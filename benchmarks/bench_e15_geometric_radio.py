@@ -1,0 +1,22 @@
+"""E15 — random geometric graphs: the physical model is diameter-bound."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e15_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E15", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    # RGG broadcast time tracks the (growing) diameter...
+    fit = result.fits["rgg decay vs diameter"]
+    assert fit.slope > 0
+    assert fit.r_squared > 0.7
+    # ...and exceeds the matched-degree G(n,p) time at the largest size.
+    rgg = result.column("rgg decay mean")
+    gnp = result.column("gnp decay mean (same d)")
+    assert rgg[-1] > gnp[-1]
+    # The age-based frontier protocol beats Decay on RGG everywhere.
+    assert np.all(result.column("rgg age-based mean") < rgg)

@@ -1,0 +1,19 @@
+"""E16 — adaptive age-based protocol vs the oblivious class."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e16_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E16", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    rows = {r["family"]: r for r in result.rows}
+    # On G(n,p) the adaptive rule is competitive with EG (within 50%).
+    assert rows["gnp d=16"]["age-based mean"] < 1.5 * rows["gnp d=16"]["eg mean"]
+    # Off G(n,p) it beats both oblivious baselines.
+    for fam in ("torus 32x32", "rgg"):
+        assert rows[fam]["age-based mean"] < rows[fam]["eg mean"]
+        assert rows[fam]["age-based mean"] < rows[fam]["decay mean"]

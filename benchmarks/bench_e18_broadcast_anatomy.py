@@ -1,0 +1,20 @@
+"""E18 — anatomy of a broadcast: tree depth, branching, efficiency."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e18_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E18", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    # The realised tree is at most a few layers deeper than BFS.
+    extra = result.column("tree depth mean") - result.column("bfs depth")
+    assert np.all(extra >= 0)
+    assert np.all(extra < 5)
+    # One-to-many gain survives collisions: > 1 new node per transmission.
+    assert np.all(result.column("efficiency (new/tx)") > 1.0)
+    # A minority of nodes ever relay.
+    assert np.all(result.column("relay fraction") < 0.5)

@@ -1,0 +1,21 @@
+"""E19 — the price of determinism: selective family / id-slot vs randomized."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e19_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E19", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    eg = result.column("eg mean (randomized)")
+    sel = result.column("selective-family rounds")
+    ids = result.column("id-slot rounds")
+    # Randomized wins against both deterministic baselines at every size.
+    assert np.all(sel > eg)
+    assert np.all(ids > eg)
+    # The id-slot penalty grows with n (polynomial vs logarithmic).
+    ratios = result.column("id-slot / eg")
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,18 @@
+"""E20 — k-token dissemination: broadcast morphing into gossip."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e20_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E20", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    times = result.column("rounds mean")
+    # Monotone-ish growth in k...
+    assert times[-1] > 2 * times[0]
+    assert np.all(np.diff(times) > -10)
+    # ...with saturation: full gossip costs at most ~20% more than k=64.
+    assert times[-1] < 1.3 * times[-2]

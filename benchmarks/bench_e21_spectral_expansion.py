@@ -1,0 +1,23 @@
+"""E21 — spectral gap vs broadcast time across graph families."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e21_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E21", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    gaps = result.column("spectral gap")
+    times = result.column("decay mean")
+    # Regime separation: every gap >= 0.05 family beats every gap < 0.05
+    # family.
+    fast = times[gaps >= 0.05]
+    slow = times[gaps < 0.05]
+    assert fast.size and slow.size
+    assert fast.max() < slow.min()
+    # Sanity on the spectra themselves: hypercube(10) gap = 2/10 exactly.
+    rows = {r["family"]: r for r in result.rows}
+    assert abs(rows["hypercube(10)"]["spectral gap"] - 0.2) < 1e-6

@@ -1,0 +1,21 @@
+"""E22 — §1.1: results transfer between G(n, p) and Erdős–Rényi G(n, m)."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e22_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E22", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    ratios = result.column("ratio (gnm/gnp, protocol)")
+    # Statistically indistinguishable at matched edge budgets.
+    assert np.all(ratios > 0.7)
+    assert np.all(ratios < 1.4)
+    # Centralized schedules agree within a couple of rounds too.
+    diff = np.abs(
+        result.column("gnp schedule rounds") - result.column("gnm schedule rounds")
+    )
+    assert np.all(diff <= 4)

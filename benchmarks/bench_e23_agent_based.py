@@ -1,0 +1,24 @@
+"""E23 — agent-based broadcasting (paper reference [13])."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_e23_table(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("E23", quick=True, seed=0), rounds=1, iterations=1
+    )
+    record_result(result)
+    times = result.column("rounds mean")
+    ks = result.column("agents k")
+    # Strictly decreasing in the agent count.
+    assert np.all(np.diff(times) < 0)
+    # Cover-time regime: k * rounds stays within one order of magnitude
+    # over a 64x change in k at the small end.
+    invariant = result.column("k * rounds")
+    assert invariant[2] / invariant[0] < 10
+    # Big fleets approach the log-n floor: 256 agents are > 20x faster
+    # than a lone walker and finish in well under 100 rounds.
+    assert times[-1] < 0.05 * times[0]
+    assert times[-1] < 100

@@ -1,0 +1,47 @@
+"""K1 — engineering: radio round-kernel throughput.
+
+The hot path of every experiment is :meth:`RadioNetwork.step` (two sparse
+matvecs plus boolean algebra).  These benches time it at realistic sizes so
+performance regressions in the kernel are caught before they silently
+stretch every experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import gnp
+from repro.radio import RadioNetwork
+
+
+@pytest.fixture(scope="module")
+def big_network():
+    n, d = 50_000, 20.0
+    g = gnp(n, d / n, seed=1)
+    net = RadioNetwork(g)
+    net.adj.matrix()  # pre-build the cached CSR matrix
+    rng = np.random.default_rng(2)
+    informed = rng.random(n) < 0.5
+    transmitting = (rng.random(n) < 0.1) & informed
+    return net, transmitting, informed
+
+
+def test_k01_step_kernel(benchmark, big_network):
+    net, transmitting, informed = big_network
+    result = benchmark(net.step, transmitting, informed)
+    assert result.num_transmitters == int(np.count_nonzero(transmitting))
+
+
+def test_k01_neighbor_counts(benchmark, big_network):
+    net, transmitting, _ = big_network
+    counts = benchmark(net.adj.neighbor_counts, transmitting)
+    assert counts.shape == (net.n,)
+
+
+def test_k01_reference_kernel_small(benchmark):
+    """The pure-Python oracle at a size where it is still usable."""
+    g = gnp(400, 0.05, seed=3)
+    net = RadioNetwork(g)
+    rng = np.random.default_rng(4)
+    informed = rng.random(400) < 0.5
+    transmitting = (rng.random(400) < 0.1) & informed
+    benchmark(net.step_reference, transmitting, informed)

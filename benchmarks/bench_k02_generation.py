@@ -1,0 +1,36 @@
+"""K2 — engineering: G(n, p) / G(n, m) generation throughput.
+
+Generation must stay O(n + m): these benches cover the sparse path, the
+dense complement path, and G(n, m)'s exact-count sampler.
+"""
+
+import pytest
+
+from repro.graphs import gnm, gnp
+from repro.graphs.random_graphs import pair_count
+
+
+@pytest.mark.parametrize(
+    "n,p,label",
+    [
+        (100_000, 20 / 100_000, "sparse-100k-d20"),
+        (10_000, 0.01, "medium-10k-p0.01"),
+        (2_000, 0.8, "dense-2k-p0.8"),
+    ],
+)
+def test_k02_gnp(benchmark, n, p, label):
+    g = benchmark(gnp, n, p, 42)
+    assert g.n == n
+
+
+def test_k02_gnm(benchmark):
+    n, m = 50_000, 500_000
+    g = benchmark(gnm, n, m, 43)
+    assert g.num_edges == m
+
+
+def test_k02_gnm_dense(benchmark):
+    n = 1500
+    m = int(0.9 * pair_count(n))
+    g = benchmark(gnm, n, m, 44)
+    assert g.num_edges == m

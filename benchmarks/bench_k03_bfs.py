@@ -1,0 +1,36 @@
+"""K3 — engineering: BFS / layer-decomposition throughput."""
+
+import pytest
+
+from repro.graphs import gnp
+from repro.graphs.bfs import bfs_distances, bfs_tree
+from repro.graphs.layers import LayerDecomposition
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    n, d = 100_000, 16.0
+    return gnp(n, d / n, seed=5)
+
+
+def test_k03_bfs_distances(benchmark, big_graph):
+    dist = benchmark(bfs_distances, big_graph, 0)
+    assert dist.shape == (big_graph.n,)
+
+
+def test_k03_bfs_tree(benchmark, big_graph):
+    dist, parent = benchmark(bfs_tree, big_graph, 0)
+    assert parent.shape == (big_graph.n,)
+
+
+def test_k03_layer_decomposition_full(benchmark, big_graph):
+    def decompose():
+        ld = LayerDecomposition(big_graph, 0)
+        # Force the cached statistics the experiments read.
+        ld.sizes
+        ld.intra_layer_edge_counts
+        ld.parent_counts
+        return ld
+
+    ld = benchmark.pedantic(decompose, rounds=1, iterations=1)
+    assert ld.num_reached > 0

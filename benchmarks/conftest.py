@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Each experiment bench runs its catalog entry once under pytest-benchmark
+timing, prints the regenerated table, and archives it under
+``benchmarks/results/`` so the reproduced numbers survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Callable: write an ExperimentResult's table to results/<id>.txt."""
+
+    def _record(result, name: str | None = None):
+        stem = (name or result.experiment_id).lower()
+        path = results_dir / f"{stem}.txt"
+        path.write_text(result.table() + "\n")
+        print()
+        print(result.table())
+        return path
+
+    return _record

@@ -1,0 +1,64 @@
+"""Scenario: watching the lower bounds bite (Theorems 6 and 8).
+
+Part 1 replays the Theorem 6 proof's relaxed adversary model: random
+transmit-set sequences of the proof's size-≤2 family leave some node
+uninformed until the round budget passes c* · ln n — the survival
+probability collapses at a sharp threshold.
+
+Part 2 sweeps a whole family of topology-oblivious protocols (the class
+Theorem 8 quantifies over) and shows that even the best one cannot beat
+Ω(ln n).
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+import math
+
+from repro import RadioNetwork, gnp, gnp_connected
+from repro.lowerbounds import (
+    best_oblivious_time,
+    oblivious_candidates,
+    survival_probability,
+)
+
+
+def part1_survival() -> None:
+    n = 256
+    trials = 30
+    print(f"=== Theorem 6: survival under short schedules (G({n}, 1/2)) ===")
+    print("relaxed adversary model; transmit sets of size 1-2, k = c ln n rounds")
+    print(f"{'c':>6} {'rounds':>7} {'P[some node survives]':>23}")
+    for c in (0.25, 0.5, 1.0, 1.44, 2.0, 3.0):
+        k = max(1, round(c * math.log(n)))
+        prob = survival_probability(
+            lambda rng: gnp(n, 0.5, rng),
+            num_rounds=k,
+            set_size=(1, 2),
+            trials=trials,
+            seed=int(c * 100),
+            disjoint=True,
+        )
+        print(f"{c:>6.2f} {k:>7} {prob:>23.2f}")
+    print(f"(theory: threshold at c* = 1/ln 2 ≈ {1 / math.log(2):.2f})")
+
+
+def part2_oblivious() -> None:
+    print("\n=== Theorem 8: the best oblivious protocol still needs Ω(ln n) ===")
+    print(f"{'n':>6} {'ln n':>6} {'best mean rounds':>17} {'best candidate':>20}")
+    for i, n in enumerate([128, 256, 512, 1024]):
+        p = 4 * math.log(n) / n
+        network = RadioNetwork(gnp_connected(n, p, seed=50 + i))
+        best, name, _ = best_oblivious_time(
+            network, oblivious_candidates(n, p), trials=3, seed=i
+        )
+        print(f"{n:>6} {math.log(n):>6.2f} {best:>17.1f} {name:>20}")
+    print(
+        "\nTakeaway: scaling n up by 8x raises even the best oblivious "
+        "completion time in step with ln n — no amount of probability-"
+        "sequence tuning escapes the Theorem 8 bound."
+    )
+
+
+if __name__ == "__main__":
+    part1_survival()
+    part2_oblivious()

@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs on environments without
+the `wheel` package (PEP 660 editable builds need it; `pip install -e .
+--no-use-pep517 --no-build-isolation` does not)."""
+from setuptools import setup
+
+setup()

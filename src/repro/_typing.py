@@ -1,0 +1,26 @@
+"""Shared type aliases used across the package.
+
+The simulator keeps all per-node state in flat NumPy arrays indexed by node
+id (``0 .. n-1``).  These aliases document the conventions:
+
+* ``IntArray`` — ``np.int64`` (or any integer) 1-D array of node ids or
+  counts.
+* ``BoolArray`` — ``np.bool_`` 1-D mask of length ``n``.
+* ``FloatArray`` — ``np.float64`` 1-D array (probabilities, statistics).
+* ``SeedLike`` — anything :func:`numpy.random.default_rng` accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+IntArray = npt.NDArray[np.int64]
+BoolArray = npt.NDArray[np.bool_]
+FloatArray = npt.NDArray[np.float64]
+
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+__all__ = ["IntArray", "BoolArray", "FloatArray", "SeedLike"]

@@ -1,0 +1,47 @@
+"""Broadcasting algorithms: centralized schedulers and distributed protocols.
+
+* :mod:`repro.broadcast.centralized` — offline schedule construction from
+  full topology knowledge (paper Section 3.1): the Theorem 5 algorithm and
+  three baselines.
+* :mod:`repro.broadcast.distributed` — fully distributed randomized
+  protocols (paper Section 3.2): the Theorem 7 algorithm, the classic
+  Decay protocol, and simple oblivious baselines.
+"""
+
+from .centralized import (
+    CentralizedScheduler,
+    ElsasserGasieniecScheduler,
+    GreedyCoverScheduler,
+    RoundRobinScheduler,
+    SequentialLayerScheduler,
+)
+from .distributed import (
+    AgeBasedProtocol,
+    DecayProtocol,
+    EGRandomizedProtocol,
+    IdSlotProtocol,
+    ObliviousProtocol,
+    UniformProtocol,
+)
+from .selectors import (
+    SelectiveFamilyProtocol,
+    random_selective_family,
+    verify_selective,
+)
+
+__all__ = [
+    "CentralizedScheduler",
+    "ElsasserGasieniecScheduler",
+    "GreedyCoverScheduler",
+    "SequentialLayerScheduler",
+    "RoundRobinScheduler",
+    "EGRandomizedProtocol",
+    "DecayProtocol",
+    "UniformProtocol",
+    "ObliviousProtocol",
+    "AgeBasedProtocol",
+    "IdSlotProtocol",
+    "SelectiveFamilyProtocol",
+    "random_selective_family",
+    "verify_selective",
+]

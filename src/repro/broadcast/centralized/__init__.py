@@ -1,0 +1,31 @@
+"""Centralized broadcast scheduling (paper Section 3.1).
+
+Every scheduler here sees the full topology and emits a
+:class:`~repro.radio.schedule.Schedule` — an explicit per-round list of
+transmitters — that completes a broadcast from the given source.
+
+* :class:`ElsasserGasieniecScheduler` — the Theorem 5 algorithm,
+  ``O(ln n / ln d + ln d)`` rounds on ``G(n, p)`` w.h.p.
+* :class:`GreedyCoverScheduler` — collision-aware greedy baseline (one
+  greedy independent cover per round), no phase structure.
+* :class:`SequentialLayerScheduler` — minimal covering per BFS layer,
+  cover members transmit one at a time; collision-free but slow.
+* :class:`RoundRobinScheduler` — the trivial ``O(n D)`` schedule.
+"""
+
+from .base import CentralizedScheduler
+from .greedy import GreedyCoverScheduler
+from .layered import ElsasserGasieniecScheduler
+from .optimize import OptimizeReport, optimize_schedule
+from .round_robin import RoundRobinScheduler
+from .sequential import SequentialLayerScheduler
+
+__all__ = [
+    "CentralizedScheduler",
+    "ElsasserGasieniecScheduler",
+    "GreedyCoverScheduler",
+    "SequentialLayerScheduler",
+    "RoundRobinScheduler",
+    "optimize_schedule",
+    "OptimizeReport",
+]

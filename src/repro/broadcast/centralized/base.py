@@ -1,0 +1,108 @@
+"""Shared machinery for centralized schedulers.
+
+A centralized scheduler *constructs* a schedule by simulating the network
+as it goes — each phase's transmit sets depend on who is informed so far,
+which the scheduler, knowing the topology, can compute exactly.  The
+:class:`ScheduleBuilder` helper owns that bookkeeping so concrete
+schedulers read like their pseudocode.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..._typing import BoolArray, IntArray
+from ...errors import DisconnectedGraphError, ScheduleError
+from ...graphs.adjacency import Adjacency
+from ...graphs.bfs import bfs_distances
+from ...radio.model import RadioNetwork
+from ...radio.schedule import Schedule
+
+__all__ = ["CentralizedScheduler", "ScheduleBuilder"]
+
+
+class ScheduleBuilder:
+    """Incremental schedule construction with exact informed-set tracking.
+
+    Appending a round immediately replays it through the radio kernel, so
+    after every append the builder knows exactly which nodes the schedule
+    has informed so far.
+    """
+
+    def __init__(self, adj: Adjacency, source: int):
+        if not 0 <= source < adj.n:
+            raise ScheduleError(f"source {source} out of range [0, {adj.n})")
+        self.network = RadioNetwork(adj)
+        self.adj = adj
+        self.source = source
+        self.schedule = Schedule(adj.n)
+        self.informed: BoolArray = np.zeros(adj.n, dtype=bool)
+        self.informed[source] = True
+
+    @property
+    def n(self) -> int:
+        return self.adj.n
+
+    @property
+    def num_informed(self) -> int:
+        return int(np.count_nonzero(self.informed))
+
+    @property
+    def done(self) -> bool:
+        """True iff the schedule built so far informs every node."""
+        return self.num_informed == self.n
+
+    def informed_nodes(self) -> IntArray:
+        """Sorted ids of currently informed nodes."""
+        return np.flatnonzero(self.informed).astype(np.int64)
+
+    def uninformed_nodes(self) -> IntArray:
+        """Sorted ids of currently uninformed nodes."""
+        return np.flatnonzero(~self.informed).astype(np.int64)
+
+    def add_round(self, transmitters: IntArray, label: str = "") -> int:
+        """Append a round and replay it; returns how many nodes it informed.
+
+        Transmitters must already be informed — a centralized schedule that
+        asks an uninformed node to transmit is a bug in the scheduler.
+        """
+        transmitters = np.unique(np.asarray(transmitters, dtype=np.int64))
+        if transmitters.size and np.any(~self.informed[transmitters]):
+            bad = transmitters[~self.informed[transmitters]][:5].tolist()
+            raise ScheduleError(
+                f"scheduler bug: uninformed nodes scheduled to transmit: {bad}"
+            )
+        self.schedule.append(transmitters, label=label)
+        mask = np.zeros(self.n, dtype=bool)
+        mask[transmitters] = True
+        result = self.network.step(mask, self.informed)
+        self.informed[result.newly_informed] = True
+        return result.num_new
+
+
+class CentralizedScheduler(ABC):
+    """Base class: build a broadcast schedule from full topology knowledge."""
+
+    #: Human-readable scheduler name (used in reports).
+    name: str = "centralized"
+
+    @abstractmethod
+    def build(self, adj: Adjacency, source: int) -> Schedule:
+        """Construct a schedule that broadcasts from ``source`` on ``adj``.
+
+        Raises :class:`DisconnectedGraphError` when some node is
+        unreachable (no schedule can complete), and guarantees the returned
+        schedule completes the broadcast (schedulers verify internally).
+        """
+
+    @staticmethod
+    def _require_reachable(adj: Adjacency, source: int) -> None:
+        if np.any(bfs_distances(adj, source) < 0):
+            raise DisconnectedGraphError(
+                f"not all nodes reachable from source {source}; no broadcast schedule exists"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,113 @@
+"""Schedule post-optimization: local search over verified schedules.
+
+The Theorem 5 construction is phase-structured, not round-optimal; the
+Theorem 6 lower bound says how short a schedule *can't* be.  This module
+squeezes the gap from above with two verification-preserving local moves:
+
+* **drop** — delete a round whose removal keeps the schedule complete
+  (later rounds pick up the slack);
+* **merge** — union two adjacent rounds into one when the combined
+  transmit set still completes the broadcast (collisions the merge creates
+  may be repaired by later rounds).
+
+Every accepted move strictly shortens the schedule, so the search
+terminates; the result is a locally-minimal schedule whose length is the
+experiments' best constructive upper bound (used by the E1/E2 `--ablate`
+discussion in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ScheduleError
+from ...graphs.adjacency import Adjacency
+from ...radio.model import RadioNetwork
+from ...radio.schedule import Schedule, execute_schedule
+
+__all__ = ["optimize_schedule", "OptimizeReport"]
+
+
+class OptimizeReport:
+    """Outcome of a schedule optimization run.
+
+    Attributes
+    ----------
+    schedule: the optimized schedule.
+    initial_rounds / final_rounds: lengths before and after.
+    drops / merges: number of accepted moves of each kind.
+    """
+
+    def __init__(self, schedule: Schedule, initial_rounds: int, drops: int, merges: int):
+        self.schedule = schedule
+        self.initial_rounds = initial_rounds
+        self.final_rounds = len(schedule)
+        self.drops = drops
+        self.merges = merges
+
+    @property
+    def saved_rounds(self) -> int:
+        """How many rounds local search removed."""
+        return self.initial_rounds - self.final_rounds
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimizeReport({self.initial_rounds} -> {self.final_rounds} rounds, "
+            f"{self.drops} drops, {self.merges} merges)"
+        )
+
+
+def _completes(network: RadioNetwork, rounds: list[np.ndarray], source: int) -> bool:
+    schedule = Schedule(network.n, rounds)
+    return execute_schedule(network, schedule, source, mode="filter").completed
+
+
+def optimize_schedule(
+    adj: Adjacency,
+    schedule: Schedule,
+    source: int,
+    *,
+    max_passes: int = 8,
+) -> OptimizeReport:
+    """Shorten a complete schedule by drop/merge local search.
+
+    The input must already complete the broadcast (``filter`` semantics);
+    raises :class:`ScheduleError` otherwise.  Each pass scans rounds
+    first-to-last attempting drops, then adjacent merges; passes repeat
+    until a fixpoint or ``max_passes``.
+    """
+    network = RadioNetwork(adj)
+    rounds = [r.copy() for r in schedule.rounds]
+    if not _completes(network, rounds, source):
+        raise ScheduleError("cannot optimize: input schedule does not complete the broadcast")
+    initial = len(rounds)
+    drops = merges = 0
+    for _ in range(max_passes):
+        changed = False
+        # Drop pass.
+        i = 0
+        while i < len(rounds):
+            if len(rounds) == 1:
+                break
+            candidate = rounds[:i] + rounds[i + 1 :]
+            if _completes(network, candidate, source):
+                rounds = candidate
+                drops += 1
+                changed = True
+            else:
+                i += 1
+        # Merge pass.
+        i = 0
+        while i + 1 < len(rounds):
+            merged = np.union1d(rounds[i], rounds[i + 1])
+            candidate = rounds[:i] + [merged] + rounds[i + 2 :]
+            if _completes(network, candidate, source):
+                rounds = candidate
+                merges += 1
+                changed = True
+            else:
+                i += 1
+        if not changed:
+            break
+    out = Schedule(adj.n, rounds)
+    return OptimizeReport(out, initial, drops, merges)

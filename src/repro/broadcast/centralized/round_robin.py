@@ -1,0 +1,43 @@
+"""Round-robin scheduler — the trivial ``O(n · D)`` upper bound.
+
+Round ``t`` schedules node ``(t - 1) mod n`` alone (if informed).  Every
+round is collision-free, and after each full sweep of ``n`` rounds the
+informed set grows by at least one BFS layer, so the schedule completes in
+at most ``n · (D + 1)`` rounds.  This is the ``O(n²)``-flavoured trivial
+algorithm the paper's related-work section starts from; it exists here to
+anchor the bottom of every comparison table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ScheduleError
+from ...graphs.adjacency import Adjacency
+from ...radio.schedule import Schedule
+from .base import CentralizedScheduler, ScheduleBuilder
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(CentralizedScheduler):
+    """Single transmitter per round, cycling through node ids."""
+
+    name = "round-robin"
+
+    def build(self, adj: Adjacency, source: int) -> Schedule:
+        self._require_reachable(adj, source)
+        builder = ScheduleBuilder(adj, source)
+        n = adj.n
+        cap = n * (n + 2)  # far above n * (D + 1)
+        t = 0
+        while not builder.done:
+            if t >= cap:
+                raise ScheduleError("round-robin schedule exceeded its cap (internal error)")
+            v = t % n
+            if builder.informed[v]:
+                builder.add_round(np.array([v], dtype=np.int64), label="round-robin")
+            else:
+                builder.add_round(np.empty(0, dtype=np.int64), label="round-robin")
+            t += 1
+        return builder.schedule

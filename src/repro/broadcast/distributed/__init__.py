@@ -1,0 +1,28 @@
+"""Fully distributed randomized broadcast protocols (paper Section 3.2).
+
+Nodes know only ``n``, ``p`` and the round number; no topology.
+
+* :class:`EGRandomizedProtocol` — the Theorem 7 algorithm,
+  ``O(ln n)`` rounds on ``G(n, p)`` w.h.p.
+* :class:`DecayProtocol` — the classic Bar-Yehuda–Goldreich–Itai Decay
+  baseline, ``O((D + ln n) ln n)`` on arbitrary graphs.
+* :class:`UniformProtocol` — a fixed transmit probability every round.
+* :class:`ObliviousProtocol` — arbitrary probability sequence of ``t``
+  alone; the class the Theorem 8 lower bound quantifies over.
+"""
+
+from .adaptive import AgeBasedProtocol
+from .decay import DecayProtocol
+from .deterministic import IdSlotProtocol
+from .eg_randomized import EGRandomizedProtocol
+from .oblivious import ObliviousProtocol
+from .uniform import UniformProtocol
+
+__all__ = [
+    "EGRandomizedProtocol",
+    "DecayProtocol",
+    "UniformProtocol",
+    "ObliviousProtocol",
+    "AgeBasedProtocol",
+    "IdSlotProtocol",
+]

@@ -1,0 +1,68 @@
+"""Deterministic distributed baseline: one id per time slot.
+
+The related-work section's starting point for deterministic broadcasting
+is the trivial ``O(n²)`` algorithm: with linearly bounded labels, node
+``v`` transmits (if informed) exactly in rounds ``t ≡ v (mod n)``.  Rounds
+are collision-free by construction, each ``n``-round sweep pushes the
+message at least one BFS layer, so completion takes at most ``n·(D+1)``
+rounds — and nothing about the topology can prevent it.
+
+This is the distributed twin of
+:class:`~repro.broadcast.centralized.RoundRobinScheduler`: same schedule,
+but generated online from each node's own label, with no topology
+knowledge at all (not even ``p``).  It anchors the deterministic end of
+the E5 comparison: the price of removing *both* randomness and knowledge
+is a factor ``Θ(n / ln n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._typing import BoolArray, IntArray
+from ...errors import InvalidParameterError
+from ...radio.protocol import RadioProtocol
+
+__all__ = ["IdSlotProtocol"]
+
+
+class IdSlotProtocol(RadioProtocol):
+    """Node ``v`` transmits in rounds ``t ≡ v (mod n)`` when informed.
+
+    Parameters
+    ----------
+    n: network size (each node knows ``n`` and its own label).
+    """
+
+    name = "id-slot"
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise InvalidParameterError(f"need n >= 1, got {n}")
+        self.n = n
+
+    def prepare(self, n: int, p: float | None, source: int) -> None:
+        if n != self.n:
+            raise InvalidParameterError(
+                f"protocol configured for n={self.n} but network has n={n}"
+            )
+
+    def slot_owner(self, t: int) -> int:
+        """The unique node id allowed to transmit in round ``t`` (1-indexed)."""
+        if t < 1:
+            raise InvalidParameterError(f"round index must be >= 1, got {t}")
+        return (t - 1) % self.n
+
+    def transmit_mask(
+        self,
+        t: int,
+        informed: BoolArray,
+        informed_round: IntArray,
+        rng: np.random.Generator,
+    ) -> BoolArray:
+        mask = np.zeros(self.n, dtype=bool)
+        mask[self.slot_owner(t)] = True
+        return mask
+
+    def __repr__(self) -> str:
+        return f"IdSlotProtocol(n={self.n})"

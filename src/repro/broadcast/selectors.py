@@ -1,0 +1,211 @@
+"""Selective families — the classic worst-case radio broadcasting tool.
+
+The paper's Section 1.1 notes that "a commonly used tool to handle
+[collisions] is the concept of selective families of sets" (Chlebus et
+al., Chrobak–Gąsieniec–Rytter, Clementi et al.).  A family
+``F ⊆ 2^[n]`` is **k-selective** if for every non-empty ``S ⊆ [n]`` with
+``|S| ≤ k`` there is a set ``T ∈ F`` with ``|S ∩ T| = 1`` — whatever the
+(unknown) set of informed neighbours around a listener, some round of the
+family isolates exactly one of them.
+
+Facts implemented here:
+
+* random construction — ``O(k log(n/k) · log n)`` sets, each containing
+  every element independently with probability ``1/k``, is k-selective
+  w.h.p. (the probabilistic upper bound matching the known
+  ``Ω(k log(n/k))`` lower bound);
+* :func:`verify_selective` — exhaustive check for small ``(n, k)``,
+  Monte-Carlo refutation search otherwise;
+* :class:`SelectiveFamilyProtocol` — the family replayed cyclically as a
+  distributed protocol: node ``v`` transmits in round ``t`` iff informed
+  and ``v ∈ F[t mod |F|]``.  On bounded-degree graphs a full cycle pushes
+  the frontier one layer, giving ``O(D · k log² n)``-style deterministic
+  broadcast — the pre-randomization state of the art the paper contrasts
+  its ``O(ln n)`` randomized protocol with.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from .._typing import BoolArray, IntArray, SeedLike
+from ..errors import InvalidParameterError
+from ..radio.protocol import RadioProtocol
+from ..rng import as_generator
+
+__all__ = [
+    "random_selective_family",
+    "verify_selective",
+    "find_violating_subset",
+    "SelectiveFamilyProtocol",
+]
+
+
+def random_selective_family(
+    n: int,
+    k: int,
+    seed: SeedLike = None,
+    *,
+    size_factor: float = 2.0,
+    certified: bool = False,
+) -> list[IntArray]:
+    """Random candidate k-selective family over ``[0, n)``.
+
+    Draws ``⌈size_factor · k · ln(n) · max(1, ln(n/k))⌉`` sets, each
+    containing every element independently with probability ``1/k`` (for
+    ``k = 1`` the single set ``[n]`` suffices and is returned directly).
+    The result is k-selective w.h.p.
+
+    With ``certified=True`` the family is repaired until *provably*
+    selective (feasible when exhaustive verification is — small ``n``
+    and ``k``): selectivity is monotone under adding sets, so each
+    violating witness ``S`` is fixed by appending the singleton
+    ``{min S}``, which can never un-select anything else.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    if not 1 <= k <= n:
+        raise InvalidParameterError(f"k must lie in [1, {n}], got {k}")
+    if size_factor <= 0:
+        raise InvalidParameterError(f"size_factor must be positive, got {size_factor}")
+    if k == 1:
+        return [np.arange(n, dtype=np.int64)]
+    rng = as_generator(seed)
+    logn = math.log(max(n, 2))
+    count = max(1, math.ceil(size_factor * k * logn * max(1.0, math.log(n / k))))
+    family: list[IntArray] = []
+    covered = np.zeros(n, dtype=bool)
+    for _ in range(count):
+        members = np.flatnonzero(rng.random(n) < 1.0 / k).astype(np.int64)
+        family.append(members)
+        covered[members] = True
+    # Size-1 subsets {v} are selected iff v appears in some set; patch any
+    # elements the random draws missed with one extra set.
+    if not np.all(covered):
+        family.append(np.flatnonzero(~covered).astype(np.int64))
+    if certified:
+        # Repair loop: terminates because each appended singleton fixes at
+        # least the found witness and never breaks a selected subset.
+        while True:
+            witness = find_violating_subset(family, n, k, seed=rng)
+            if witness is None:
+                break
+            family.append(np.array([int(witness[0])], dtype=np.int64))
+    return family
+
+
+def _selects(family_masks: list[BoolArray], subset: np.ndarray) -> bool:
+    for mask in family_masks:
+        if int(mask[subset].sum()) == 1:
+            return True
+    return False
+
+
+def find_violating_subset(
+    family: list[IntArray],
+    n: int,
+    k: int,
+    *,
+    exhaustive_limit: int = 200_000,
+    samples: int = 5_000,
+    seed: SeedLike = None,
+) -> IntArray | None:
+    """Search for a witness subset the family fails to select.
+
+    Exhaustive over all subsets of size ``≤ k`` when their count is below
+    ``exhaustive_limit``; otherwise a Monte-Carlo refutation search over
+    ``samples`` random subsets.  Returns a violating subset or ``None``
+    if none was found (which proves selectivity only in the exhaustive
+    case).
+    """
+    if n < 1 or not 1 <= k <= n:
+        raise InvalidParameterError(f"invalid (n, k) = ({n}, {k})")
+    masks = []
+    for t in family:
+        m = np.zeros(n, dtype=bool)
+        m[t] = True
+        masks.append(m)
+    total = sum(math.comb(n, j) for j in range(1, k + 1))
+    if total <= exhaustive_limit:
+        for j in range(1, k + 1):
+            for combo in itertools.combinations(range(n), j):
+                subset = np.array(combo, dtype=np.int64)
+                if not _selects(masks, subset):
+                    return subset
+        return None
+    rng = as_generator(seed)
+    for _ in range(samples):
+        j = int(rng.integers(1, k + 1))
+        subset = rng.choice(n, size=j, replace=False).astype(np.int64)
+        if not _selects(masks, subset):
+            return np.sort(subset)
+    return None
+
+
+def verify_selective(
+    family: list[IntArray],
+    n: int,
+    k: int,
+    **kwargs,
+) -> bool:
+    """True iff no violating subset was found (see :func:`find_violating_subset`)."""
+    return find_violating_subset(family, n, k, **kwargs) is None
+
+
+class SelectiveFamilyProtocol(RadioProtocol):
+    """Replay a selective family cyclically as a deterministic protocol.
+
+    Round ``t``: node ``v`` transmits iff it is informed and
+    ``v ∈ F[(t-1) mod |F|]``.  Selectivity guarantees that within one full
+    cycle, every listener whose informed in-neighbourhood has size
+    ``≤ k`` hears exactly one of them in some round — the frontier
+    advances at least one layer per cycle on max-degree-``k`` graphs.
+
+    Parameters
+    ----------
+    n: network size.
+    family: the transmit sets (e.g. from :func:`random_selective_family`).
+    """
+
+    name = "selective-family"
+
+    def __init__(self, n: int, family: list[IntArray]):
+        if n < 1:
+            raise InvalidParameterError(f"need n >= 1, got {n}")
+        if not family:
+            raise InvalidParameterError("family must contain at least one set")
+        self.n = n
+        self._masks: list[BoolArray] = []
+        for t in family:
+            t = np.asarray(t, dtype=np.int64)
+            if t.size and (t.min() < 0 or t.max() >= n):
+                raise InvalidParameterError("family set contains ids outside [0, n)")
+            m = np.zeros(n, dtype=bool)
+            m[t] = True
+            self._masks.append(m)
+
+    @property
+    def cycle_length(self) -> int:
+        """Number of rounds in one full pass of the family."""
+        return len(self._masks)
+
+    def prepare(self, n: int, p: float | None, source: int) -> None:
+        if n != self.n:
+            raise InvalidParameterError(
+                f"protocol configured for n={self.n} but network has n={n}"
+            )
+
+    def transmit_mask(
+        self,
+        t: int,
+        informed: BoolArray,
+        informed_round: IntArray,
+        rng: np.random.Generator,
+    ) -> BoolArray:
+        return self._masks[(t - 1) % len(self._masks)].copy()
+
+    def __repr__(self) -> str:
+        return f"SelectiveFamilyProtocol(n={self.n}, cycle={self.cycle_length})"

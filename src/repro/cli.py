@@ -1,0 +1,106 @@
+"""Command-line interface: list, describe and run the experiment catalog.
+
+Usage::
+
+    python -m repro list
+    python -m repro describe E4
+    python -m repro run E4 --full --seed 7
+    python -m repro run-all --quick --out results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="radio-repro",
+        description=(
+            "Reproduce the bounds of Elsässer & Gąsieniec, 'Radio "
+            "communication in random graphs' (SPAA 2005 / JCSS 2006)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list catalogued experiments")
+
+    p_desc = sub.add_parser("describe", help="show one experiment's claim and bench target")
+    p_desc.add_argument("experiment", help="experiment id, e.g. E4")
+
+    p_run = sub.add_parser("run", help="run one experiment and print its table")
+    p_run.add_argument("experiment", help="experiment id, e.g. E4")
+    p_run.add_argument("--full", action="store_true", help="full-size sweep (slow)")
+    p_run.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    p_run.add_argument("--markdown", action="store_true", help="emit markdown instead of ASCII")
+    p_run.add_argument("--out", default=None, help="also save the result as JSON to this path")
+
+    p_all = sub.add_parser("run-all", help="run every experiment in catalog order")
+    p_all.add_argument("--full", action="store_true", help="full-size sweeps (slow)")
+    p_all.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    p_all.add_argument("--markdown", action="store_true", help="emit markdown instead of ASCII")
+    p_all.add_argument("--out", default=None, help="also write the report to this file")
+    return parser
+
+
+def _render(result, markdown: bool) -> str:
+    return result.to_markdown() if markdown else result.table()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for spec in EXPERIMENTS.values():
+            print(f"{spec.experiment_id:>4}  {spec.title}")
+        return 0
+
+    if args.command == "describe":
+        spec = get_experiment(args.experiment)
+        print(f"{spec.experiment_id} — {spec.title}")
+        print(f"claim : {spec.claim}")
+        print(f"bench : {spec.bench_target}")
+        return 0
+
+    if args.command == "run":
+        start = time.perf_counter()
+        result = run_experiment(args.experiment, quick=not args.full, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(_render(result, args.markdown))
+        print(f"\n({'full' if args.full else 'quick'} mode, {elapsed:.1f}s)")
+        if args.out:
+            from .io import save_result
+
+            path = save_result(result, args.out)
+            print(f"result saved to {path}")
+        return 0
+
+    if args.command == "run-all":
+        chunks = []
+        for spec in EXPERIMENTS.values():
+            start = time.perf_counter()
+            result = spec(quick=not args.full, seed=args.seed)
+            elapsed = time.perf_counter() - start
+            chunk = _render(result, args.markdown)
+            print(chunk)
+            print(f"({elapsed:.1f}s)\n")
+            chunks.append(chunk)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write("\n\n".join(chunks) + "\n")
+            print(f"report written to {args.out}")
+        return 0
+
+    return 2  # unreachable: argparse enforces the command set
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "DisconnectedGraphError",
+    "InvalidParameterError",
+    "ScheduleError",
+    "SimulationError",
+    "BroadcastIncompleteError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """A graph is structurally invalid for the requested operation."""
+
+
+class DisconnectedGraphError(GraphError):
+    """Raised when an operation requires a connected graph.
+
+    Broadcasting can never complete on a disconnected graph, so the
+    simulator refuses to run rather than looping to the round cap.
+    """
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A numeric parameter is outside its valid domain (e.g. ``p > 1``)."""
+
+
+class ScheduleError(ReproError):
+    """A transmission schedule is malformed or violates model constraints."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class BroadcastIncompleteError(SimulationError):
+    """A broadcast did not complete within the allotted round budget.
+
+    Carries the partial trace so callers can inspect how far the message
+    got before the budget ran out.
+    """
+
+    def __init__(self, message: str, trace=None):
+        super().__init__(message)
+        self.trace = trace

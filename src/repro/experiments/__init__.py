@@ -1,0 +1,27 @@
+"""Experiment harness: the per-claim reproduction catalog (E1–E12).
+
+The paper states asymptotic bounds rather than tables; every experiment in
+:mod:`~repro.experiments.catalog` reproduces the *shape* of one stated
+claim (see DESIGN.md §4 for the index).  Usage::
+
+    from repro.experiments import run_experiment, EXPERIMENTS
+    result = run_experiment("E4", quick=True, seed=0)
+    print(result.table())
+
+The benchmark files under ``benchmarks/`` and the CLI both route through
+:func:`run_experiment`.
+"""
+
+from .catalog import EXPERIMENTS, get_experiment, run_experiment
+from .report import format_markdown_table, format_table
+from .runner import ExperimentResult, aggregate
+
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "ExperimentResult",
+    "aggregate",
+    "format_table",
+    "format_markdown_table",
+]

@@ -1,0 +1,389 @@
+"""Experiments E1–E6: the four theorems' bounds (DESIGN.md §4).
+
+Each function returns an :class:`~repro.experiments.runner.ExperimentResult`
+whose rows form the regenerated table and whose fits quantify the claimed
+growth law.  ``quick=True`` shrinks the size ladder and repetition count to
+benchmark-friendly budgets; ``quick=False`` is the CLI's full mode.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._typing import SeedLike
+from ..broadcast.centralized import (
+    ElsasserGasieniecScheduler,
+    GreedyCoverScheduler,
+    SequentialLayerScheduler,
+)
+from ..broadcast.distributed import DecayProtocol, EGRandomizedProtocol, UniformProtocol
+from ..graphs.random_graphs import gnp_connected
+from ..lowerbounds.centralized import (
+    rounds_to_inform_all_relaxed,
+    survival_probability,
+)
+from ..lowerbounds.distributed import best_oblivious_time, oblivious_candidates
+from ..radio.model import RadioNetwork
+from ..rng import derive_generator, spawn_generators
+from ..theory.bounds import (
+    centralized_bound,
+    diameter_estimate,
+    optimal_centralized_degree,
+)
+from ..theory.fitting import compare_models, linear_fit
+from .runner import ExperimentResult, protocol_times
+
+__all__ = [
+    "e01_centralized_scaling",
+    "e02_centralized_degree_crossover",
+    "e03_centralized_lowerbound",
+    "e04_distributed_scaling",
+    "e05_distributed_comparison",
+    "e06_distributed_lowerbound",
+]
+
+
+def _sample_graphs(n: int, p: float, count: int, seed: SeedLike):
+    """Independent connected G(n, p) samples."""
+    return [gnp_connected(n, p, rng) for rng in spawn_generators(seed, count)]
+
+
+# ----------------------------------------------------------------------
+# E1 — Theorem 5: centralized O(ln n / ln d + ln d), growth in n
+# ----------------------------------------------------------------------
+
+
+def e01_centralized_scaling(quick: bool = True, seed: SeedLike = 0) -> ExperimentResult:
+    """Schedule length of the Theorem 5 algorithm vs ``n`` at fixed ``d``."""
+    ns = [128, 256, 512, 1024, 2048] if quick else [128, 256, 512, 1024, 2048, 4096, 8192]
+    reps = 5 if quick else 8
+    d = 16.0
+    result = ExperimentResult(
+        experiment_id="E1",
+        title=f"Centralized broadcast rounds vs n (fixed d = {d:g})",
+        claim="Theorem 5: O(ln n / ln d + ln d) rounds w.h.p.",
+        columns=[
+            "n",
+            "d",
+            "bound ln n/ln d + ln d",
+            "eg mean",
+            "eg max",
+            "greedy mean",
+            "sequential mean",
+        ],
+    )
+    eg_means = []
+    for i, n in enumerate(ns):
+        p = d / n
+        graphs = _sample_graphs(n, p, reps, derive_generator(seed, 1, i))
+        eg = [
+            len(ElsasserGasieniecScheduler(seed=derive_generator(seed, 2, i, j)).build(g, 0))
+            for j, g in enumerate(graphs)
+        ]
+        greedy = [
+            len(GreedyCoverScheduler(seed=derive_generator(seed, 3, i, j)).build(g, 0))
+            for j, g in enumerate(graphs)
+        ]
+        seq = [len(SequentialLayerScheduler().build(g, 0)) for g in graphs]
+        eg_means.append(float(np.mean(eg)))
+        result.rows.append(
+            {
+                "n": n,
+                "d": d,
+                "bound ln n/ln d + ln d": centralized_bound(n, p),
+                "eg mean": float(np.mean(eg)),
+                "eg max": float(np.max(eg)),
+                "greedy mean": float(np.mean(greedy)),
+                "sequential mean": float(np.mean(seq)),
+            }
+        )
+    result.fits["eg vs ln n"] = linear_fit(np.log(ns), np.array(eg_means), "ln n")
+    result.notes.append(
+        "at fixed d the bound is ln n / ln d + const, i.e. linear in ln n "
+        f"with slope 1/ln d = {1 / math.log(d):.3f}"
+    )
+    result.notes.append(
+        "sequential-layer baseline grows like n/d — the collision-free "
+        "strawman the theorem improves on"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E2 — Theorem 5: crossover in d at fixed n
+# ----------------------------------------------------------------------
+
+
+def e02_centralized_degree_crossover(
+    quick: bool = True, seed: SeedLike = 0
+) -> ExperimentResult:
+    """Locate the minimum of ``T(d)`` — the ln n/ln d vs ln d crossover."""
+    n = 1024 if quick else 2048
+    ds = [8, 12, 16, 32, 64, 128] if quick else [8, 12, 16, 24, 32, 64, 128, 256, 512]
+    reps = 3 if quick else 5
+    result = ExperimentResult(
+        experiment_id="E2",
+        title=f"Centralized broadcast rounds vs d (fixed n = {n})",
+        claim=(
+            "Theorem 5: T = O(ln n / ln d + ln d); the two terms cross over "
+            "near d* = exp(sqrt(ln n))"
+        ),
+        columns=["d", "diam est", "bound", "eg mean", "eg max"],
+    )
+    means = []
+    for i, d in enumerate(ds):
+        p = d / n
+        graphs = _sample_graphs(n, p, reps, derive_generator(seed, 1, i))
+        eg = [
+            len(ElsasserGasieniecScheduler(seed=derive_generator(seed, 2, i, j)).build(g, 0))
+            for j, g in enumerate(graphs)
+        ]
+        means.append(float(np.mean(eg)))
+        result.rows.append(
+            {
+                "d": d,
+                "diam est": diameter_estimate(n, p),
+                "bound": centralized_bound(n, p),
+                "eg mean": float(np.mean(eg)),
+                "eg max": float(np.max(eg)),
+            }
+        )
+    d_star = optimal_centralized_degree(n)
+    measured_min_d = ds[int(np.argmin(means))]
+    result.notes.append(
+        f"predicted optimal degree d* = exp(sqrt(ln n)) = {d_star:.1f}; "
+        f"measured minimum at d = {measured_min_d}"
+    )
+    # Correlation between measured times and the bound across the sweep.
+    result.fits["eg vs bound"] = linear_fit(
+        np.array([centralized_bound(n, d / n) for d in ds]),
+        np.array(means),
+        "ln n/ln d + ln d",
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E3 — Theorem 6: centralized lower bound
+# ----------------------------------------------------------------------
+
+
+def e03_centralized_lowerbound(quick: bool = True, seed: SeedLike = 0) -> ExperimentResult:
+    """Survival probabilities under the proof's relaxed reception model."""
+    n = 256 if quick else 512
+    trials = 20 if quick else 60
+    cs = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0]
+    result = ExperimentResult(
+        experiment_id="E3",
+        title=f"Theorem 6 survival experiment (p = 1/2 family, n = {n})",
+        claim=(
+            "Theorem 6: any o(ln n/ln d + ln d)-round schedule leaves a node "
+            "uninformed w.h.p.; under the relaxed reception rule a node "
+            "survives a size-≤2 round w.p. 1/2, so survivors persist for "
+            "k = c ln n rounds up to c* = 1/ln 2 ≈ 1.44"
+        ),
+        columns=["c", "rounds k", "survival prob"],
+    )
+    logn = math.log(n)
+    for i, c in enumerate(cs):
+        k = max(1, int(round(c * logn)))
+        prob = survival_probability(
+            lambda rng: gnp_connected(n, 0.5, rng),
+            num_rounds=k,
+            set_size=(1, 2),
+            trials=trials,
+            seed=derive_generator(seed, 1, i),
+            disjoint=True,
+        )
+        result.rows.append({"c": c, "rounds k": k, "survival prob": prob})
+    result.notes.append(
+        "survival stays near 1 below c* = 1/ln 2 ≈ 1.44 and collapses "
+        "beyond it: expected survivors scale as (n/2) · n^(-c ln 2) "
+        "(the paper's 1/4-per-round computation uses a strictly more "
+        "pessimistic survival event, shifting its constant, not the shape)"
+    )
+
+    # Panel B (general p): even with the relaxed rule and the proof's
+    # favoured set size ~ n/d, random sequences need Ω(ln n) rounds.
+    ns = [128, 256, 512] if quick else [128, 256, 512, 1024, 2048]
+    d = 16.0
+    reps = 5 if quick else 10
+    times = []
+    for i, n_b in enumerate(ns):
+        per = []
+        for j, rng in enumerate(spawn_generators(derive_generator(seed, 2, i), reps)):
+            g = gnp_connected(n_b, d / n_b, rng)
+            per.append(
+                rounds_to_inform_all_relaxed(
+                    g, set_size=max(1, int(n_b // d)), seed=rng
+                )
+            )
+        times.append(float(np.mean(per)))
+        result.rows.append(
+            {
+                "c": None,
+                "rounds k": None,
+                "survival prob": None,
+                "panel B: n": n_b,
+                "rounds to inform (relaxed, sets of n/d)": float(np.mean(per)),
+            }
+        )
+    if "panel B: n" not in result.columns:
+        result.columns.extend(["panel B: n", "rounds to inform (relaxed, sets of n/d)"])
+    result.fits["relaxed rounds vs ln n"] = linear_fit(
+        np.log(ns), np.array(times), "ln n"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E4 — Theorem 7: distributed O(ln n)
+# ----------------------------------------------------------------------
+
+
+def e04_distributed_scaling(quick: bool = True, seed: SeedLike = 0) -> ExperimentResult:
+    """EG randomized protocol completion time vs ``n`` in two ``p`` regimes."""
+    ns = [128, 256, 512, 1024, 2048, 4096] if quick else [128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+    reps = 8 if quick else 15
+    regimes = {
+        "d = 4 ln n": lambda n: 4.0 * math.log(n) / n,
+        "d = sqrt(n)": lambda n: n**-0.5,
+    }
+    result = ExperimentResult(
+        experiment_id="E4",
+        title="Distributed (Theorem 7) broadcast rounds vs n",
+        claim="Theorem 7: the randomized distributed protocol finishes in O(ln n) rounds w.h.p.",
+        columns=["n", "ln n"] + [f"{name} mean" for name in regimes] + [f"{name} max" for name in regimes],
+    )
+    means = {name: [] for name in regimes}
+    for i, n in enumerate(ns):
+        row = {"n": n, "ln n": math.log(n)}
+        for k, (name, p_fn) in enumerate(regimes.items()):
+            p = p_fn(n)
+            g = gnp_connected(n, p, derive_generator(seed, 1, i, k))
+            times = protocol_times(
+                RadioNetwork(g),
+                EGRandomizedProtocol(n, p),
+                repetitions=reps,
+                seed=derive_generator(seed, 2, i, k),
+                p=p,
+            )
+            means[name].append(float(np.mean(times)))
+            row[f"{name} mean"] = float(np.mean(times))
+            row[f"{name} max"] = float(np.max(times))
+        result.rows.append(row)
+    for name in regimes:
+        result.fits[f"{name} vs ln n"] = linear_fit(
+            np.log(ns), np.array(means[name]), "ln n"
+        )
+    best, fits = compare_models(np.array(ns, dtype=float), np.array(means["d = 4 ln n"]))
+    result.notes.append(
+        f"model comparison (sparse regime): best growth law = {best} "
+        f"(R² = {fits[best].r_squared:.4f})"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E5 — Theorem 7 vs baselines
+# ----------------------------------------------------------------------
+
+
+def e05_distributed_comparison(quick: bool = True, seed: SeedLike = 0) -> ExperimentResult:
+    """EG vs Decay vs constant-probability on identical graphs."""
+    ns = [128, 256, 512, 1024] if quick else [128, 256, 512, 1024, 2048, 4096]
+    reps = 5 if quick else 10
+    d_fn = lambda n: 4.0 * math.log(n)
+    result = ExperimentResult(
+        experiment_id="E5",
+        title="Distributed protocols head to head (d = 4 ln n)",
+        claim=(
+            "Theorem 7's O(ln n) protocol beats Decay's O((D + ln n) ln n) "
+            "on G(n, p); the gap grows like ln n"
+        ),
+        columns=["n", "eg mean", "decay mean", "uniform 1/d mean", "decay / eg"],
+    )
+    ratio = []
+    for i, n in enumerate(ns):
+        d = d_fn(n)
+        p = d / n
+        g = gnp_connected(n, p, derive_generator(seed, 1, i))
+        net = RadioNetwork(g)
+        eg = protocol_times(
+            net, EGRandomizedProtocol(n, p), repetitions=reps,
+            seed=derive_generator(seed, 2, i), p=p,
+        )
+        decay = protocol_times(
+            net, DecayProtocol(n), repetitions=reps,
+            seed=derive_generator(seed, 3, i),
+        )
+        uniform = protocol_times(
+            net, UniformProtocol(min(1.0, 1.0 / d)), repetitions=reps,
+            seed=derive_generator(seed, 4, i), max_rounds=40 * n,
+        )
+        r = float(np.mean(decay)) / float(np.mean(eg))
+        ratio.append(r)
+        result.rows.append(
+            {
+                "n": n,
+                "eg mean": float(np.mean(eg)),
+                "decay mean": float(np.mean(decay)),
+                "uniform 1/d mean": float(np.mean(uniform)),
+                "decay / eg": r,
+            }
+        )
+    result.notes.append(
+        f"decay/eg ratio across the ladder: {', '.join(f'{r:.2f}' for r in ratio)} "
+        "(increasing ratio = the predicted extra ln n factor)"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E6 — Theorem 8: distributed lower bound
+# ----------------------------------------------------------------------
+
+
+def e06_distributed_lowerbound(quick: bool = True, seed: SeedLike = 0) -> ExperimentResult:
+    """Best completion time over a family of oblivious protocols vs ``n``."""
+    ns = [64, 128, 256, 512] if quick else [64, 128, 256, 512, 1024, 2048]
+    trials = 3 if quick else 6
+    result = ExperimentResult(
+        experiment_id="E6",
+        title="Best oblivious protocol vs n (d = 4 ln n)",
+        claim=(
+            "Theorem 8: without topology knowledge no protocol finishes in "
+            "o(ln n) rounds w.h.p. — even the best of a rich oblivious "
+            "family needs Ω(ln n)"
+        ),
+        columns=["n", "ln n", "best mean rounds", "best candidate", "best / ln n"],
+    )
+    bests = []
+    for i, n in enumerate(ns):
+        p = 4.0 * math.log(n) / n
+        g = gnp_connected(n, p, derive_generator(seed, 1, i))
+        net = RadioNetwork(g)
+        best, name, _ = best_oblivious_time(
+            net,
+            oblivious_candidates(n, p),
+            trials=trials,
+            seed=derive_generator(seed, 2, i),
+        )
+        bests.append(best)
+        result.rows.append(
+            {
+                "n": n,
+                "ln n": math.log(n),
+                "best mean rounds": best,
+                "best candidate": name,
+                "best / ln n": best / math.log(n),
+            }
+        )
+    result.fits["best vs ln n"] = linear_fit(np.log(ns), np.array(bests), "ln n")
+    result.notes.append(
+        "best/ln n stabilising to a constant >= ~1 across the ladder is the "
+        "Ω(ln n) signature"
+    )
+    return result

@@ -1,0 +1,412 @@
+"""Experiments E13–E17: extensions beyond the paper's core results.
+
+* E13 — gossiping, the open problem the paper's conclusions point to;
+* E14 — fault tolerance (crashes + lossy links);
+* E15 — the physical radio topology (random geometric graphs);
+* E16 — adaptive (age-based) protocols vs the oblivious class;
+* E17 — degree heterogeneity (power-law Chung–Lu graphs).
+
+Same conventions as E1–E12: quick/full modes, fixed seeds, rows + fits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._typing import SeedLike
+from ..broadcast.distributed import (
+    AgeBasedProtocol,
+    DecayProtocol,
+    EGRandomizedProtocol,
+    UniformProtocol,
+)
+from ..errors import BroadcastIncompleteError
+from ..faults import CrashSchedule, LossyLinkModel, simulate_broadcast_faulty
+from ..gossip import simulate_gossip
+from ..graphs.geometric import connectivity_radius, random_geometric_connected
+from ..graphs.properties import diameter
+from ..graphs.random_graphs import gnp_connected
+from ..radio.model import RadioNetwork
+from ..rng import derive_generator, spawn_generators
+from ..theory.fitting import linear_fit
+from .runner import ExperimentResult, protocol_times
+
+__all__ = [
+    "e13_gossiping",
+    "e14_fault_tolerance",
+    "e15_geometric_radio",
+    "e16_adaptive_protocols",
+    "e17_degree_heterogeneity",
+]
+
+
+# ----------------------------------------------------------------------
+# E13 — gossiping (the conclusions' open problem)
+# ----------------------------------------------------------------------
+
+
+def e13_gossiping(quick: bool = True, seed: SeedLike = 0) -> ExperimentResult:
+    """Radio gossip time vs n: uniform rate pays Θ(d ln n), not Θ(ln n)."""
+    ns = [128, 256, 512] if quick else [128, 256, 512, 1024]
+    reps = 3 if quick else 5
+    result = ExperimentResult(
+        experiment_id="E13",
+        title="Radio gossiping (every node a rumor), d = 4 ln n",
+        claim=(
+            "Open problem (paper conclusions): gossiping cost. Measured: "
+            "with a uniform 1/d rate each node must win the channel once "
+            "to inject its rumor, so gossip costs Θ(d ln n) — a factor d "
+            "above broadcast — while the accumulate/disseminate split "
+            "shows most of the time is spent injecting, not spreading"
+        ),
+        columns=[
+            "n",
+            "d",
+            "d ln n",
+            "gossip mean (uniform 1/d)",
+            "first-complete-node mean",
+            "broadcast mean (same rate)",
+            "gossip / broadcast",
+        ],
+    )
+    xs, ys = [], []
+    for i, n in enumerate(ns):
+        d = 4.0 * math.log(n)
+        p = d / n
+        g = gnp_connected(n, p, derive_generator(seed, 1, i))
+        net = RadioNetwork(g)
+        q = min(1.0, 1.0 / d)
+        gossip_rounds, first_complete = [], []
+        for rng in spawn_generators(derive_generator(seed, 2, i), reps):
+            trace = simulate_gossip(net, UniformProtocol(q), seed=rng, max_rounds=20000)
+            gossip_rounds.append(trace.completion_round)
+            first_complete.append(trace.rounds_until_first_complete_node())
+        bcast = protocol_times(
+            net, UniformProtocol(q), repetitions=reps,
+            seed=derive_generator(seed, 3, i), max_rounds=20000,
+        )
+        gmean = float(np.mean(gossip_rounds))
+        bmean = float(np.mean(bcast))
+        xs.append(d * math.log(n))
+        ys.append(gmean)
+        result.rows.append(
+            {
+                "n": n,
+                "d": d,
+                "d ln n": d * math.log(n),
+                "gossip mean (uniform 1/d)": gmean,
+                "first-complete-node mean": float(np.mean(first_complete)),
+                "broadcast mean (same rate)": bmean,
+                "gossip / broadcast": gmean / bmean,
+            }
+        )
+    result.fits["gossip vs d ln n"] = linear_fit(np.array(xs), np.array(ys), "d ln n")
+    result.notes.append(
+        "gossip/broadcast ratio grows with d: the channel is the "
+        "bottleneck for injecting n rumors, confirming gossiping is "
+        "strictly harder than broadcasting in the radio model"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E14 — fault tolerance
+# ----------------------------------------------------------------------
+
+
+def _faulty_stats(net, proto_factory, *, crashes_fn, links, reps, seed, p, cap):
+    times, completed = [], 0
+    for rng in spawn_generators(seed, reps):
+        trace = simulate_broadcast_faulty(
+            net,
+            proto_factory(),
+            crashes=crashes_fn(rng),
+            links=links,
+            seed=rng,
+            p=p,
+            max_rounds=cap,
+            raise_on_incomplete=False,
+        )
+        if trace.completed:
+            completed += 1
+            times.append(trace.completion_round)
+    mean = float(np.mean(times)) if times else math.inf
+    return mean, completed / reps
+
+
+def e14_fault_tolerance(quick: bool = True, seed: SeedLike = 0) -> ExperimentResult:
+    """Completion under lossy links and crash faults: who degrades gracefully."""
+    n = 512
+    reps = 5 if quick else 10
+    reliabilities = [1.0, 0.9, 0.7, 0.5, 0.3]
+    d = 4.0 * math.log(n)
+    p = d / n
+    g = gnp_connected(n, p, derive_generator(seed, 1))
+    net = RadioNetwork(g)
+    cap = 4000
+    result = ExperimentResult(
+        experiment_id="E14",
+        title=f"Broadcast under faults (n = {n}, 10% crash nodes, lossy links)",
+        claim=(
+            "Extension: redundancy buys robustness — Decay's full-power "
+            "phases degrade gracefully as links get lossy, while the "
+            "sparse Theorem 7 schedule keeps its speed advantage down to "
+            "moderate loss"
+        ),
+        columns=[
+            "link reliability",
+            "eg mean",
+            "eg success",
+            "decay mean",
+            "decay success",
+        ],
+    )
+    for i, rel in enumerate(reliabilities):
+        links = LossyLinkModel(g, rel) if rel < 1.0 else None
+        crashes_fn = lambda rng: CrashSchedule.random(
+            n, 0.1, 60, seed=rng, protect=[0]
+        )
+        eg_mean, eg_ok = _faulty_stats(
+            net, lambda: EGRandomizedProtocol(n, p),
+            crashes_fn=crashes_fn, links=links, reps=reps,
+            seed=derive_generator(seed, 2, i), p=p, cap=cap,
+        )
+        dec_mean, dec_ok = _faulty_stats(
+            net, lambda: DecayProtocol(n),
+            crashes_fn=crashes_fn, links=links, reps=reps,
+            seed=derive_generator(seed, 3, i), p=p, cap=cap,
+        )
+        result.rows.append(
+            {
+                "link reliability": rel,
+                "eg mean": eg_mean,
+                "eg success": eg_ok,
+                "decay mean": dec_mean,
+                "decay success": dec_ok,
+            }
+        )
+    result.notes.append(
+        "crashed nodes are excluded from the completion target; a 'mean' "
+        "of inf records zero successful runs at that reliability"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E15 — random geometric graphs (the physical radio topology)
+# ----------------------------------------------------------------------
+
+
+def e15_geometric_radio(quick: bool = True, seed: SeedLike = 0) -> ExperimentResult:
+    """Broadcast on RGG(n, r): the diameter floor of the physical model."""
+    ns = [256, 512, 1024] if quick else [256, 512, 1024, 2048]
+    reps = 3 if quick else 6
+    result = ExperimentResult(
+        experiment_id="E15",
+        title="Radio broadcast on random geometric graphs",
+        claim=(
+            "Extension: on RGG(n, r) (the physical deployment model) the "
+            "diameter is Θ(1/r) = Θ(sqrt(n/ln n)), so broadcast time is "
+            "diameter-bound — polynomial in n, unlike G(n, p)'s O(ln n); "
+            "the G(n,p) analysis does not transfer to geometric radio "
+            "networks"
+        ),
+        columns=[
+            "n",
+            "rgg diameter",
+            "rgg decay mean",
+            "rgg age-based mean",
+            "gnp decay mean (same d)",
+            "ln n",
+        ],
+    )
+    diam_xs, decay_ys = [], []
+    for i, n in enumerate(ns):
+        rgg = random_geometric_connected(n, seed=derive_generator(seed, 1, i))
+        d_eff = max(rgg.average_degree, 2.0)
+        gnp_match = gnp_connected(n, d_eff / n, derive_generator(seed, 2, i))
+        diam = diameter(rgg, exact_limit=1100, seed=derive_generator(seed, 6, i))
+        cap = 20000
+        rgg_net = RadioNetwork(rgg)
+        decay_rgg = protocol_times(
+            rgg_net, DecayProtocol(n), repetitions=reps,
+            seed=derive_generator(seed, 3, i), max_rounds=cap,
+        )
+        age_rgg = protocol_times(
+            rgg_net, AgeBasedProtocol(n, d_eff / n), repetitions=reps,
+            seed=derive_generator(seed, 4, i), max_rounds=cap,
+        )
+        decay_gnp = protocol_times(
+            RadioNetwork(gnp_match), DecayProtocol(n), repetitions=reps,
+            seed=derive_generator(seed, 5, i), max_rounds=cap,
+        )
+        diam_xs.append(diam)
+        decay_ys.append(float(np.mean(decay_rgg)))
+        result.rows.append(
+            {
+                "n": n,
+                "rgg diameter": diam,
+                "rgg decay mean": float(np.mean(decay_rgg)),
+                "rgg age-based mean": float(np.mean(age_rgg)),
+                "gnp decay mean (same d)": float(np.mean(decay_gnp)),
+                "ln n": math.log(n),
+            }
+        )
+    result.fits["rgg decay vs diameter"] = linear_fit(
+        np.array(diam_xs, dtype=float), np.array(decay_ys), "diameter"
+    )
+    result.notes.append(
+        "rgg times scale with the (growing) diameter while the matched "
+        "G(n,p) times barely move — the geometric model is in a different "
+        "complexity regime, motivating the age-based frontier protocol"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E16 — adaptive (age-based) vs oblivious protocols
+# ----------------------------------------------------------------------
+
+
+def e16_adaptive_protocols(quick: bool = True, seed: SeedLike = 0) -> ExperimentResult:
+    """Does knowing your own informed-round beat the oblivious class?"""
+    from ..graphs.families import torus_2d
+
+    n = 1024
+    reps = 5 if quick else 10
+    d = 16.0
+    families = {
+        "gnp d=16": gnp_connected(n, d / n, derive_generator(seed, 1)),
+        "torus 32x32": torus_2d(32, 32),
+        "rgg": random_geometric_connected(n, seed=derive_generator(seed, 2)),
+    }
+    result = ExperimentResult(
+        experiment_id="E16",
+        title=f"Adaptive age-based protocol vs oblivious class (n = {n})",
+        claim=(
+            "Extension: Theorem 8's lower bound binds (n, p, t)-oblivious "
+            "protocols; using one extra local bit — when a node was "
+            "informed — the age-based rule matches EG on G(n,p) and "
+            "clearly beats both oblivious baselines on high-diameter "
+            "topologies, where keeping the frontier hot matters"
+        ),
+        columns=["family", "age-based mean", "eg mean", "decay mean"],
+    )
+    cap = 30000
+    for i, (name, g) in enumerate(families.items()):
+        net = RadioNetwork(g)
+        d_eff = max(g.average_degree, 2.0)
+        p_eff = d_eff / n
+        age = protocol_times(
+            net, AgeBasedProtocol(n, p_eff), repetitions=reps,
+            seed=derive_generator(seed, 3, i), max_rounds=cap,
+        )
+        eg = protocol_times(
+            net, EGRandomizedProtocol(n, p_eff), repetitions=reps,
+            seed=derive_generator(seed, 4, i), p=p_eff, max_rounds=cap,
+        )
+        decay = protocol_times(
+            net, DecayProtocol(n), repetitions=reps,
+            seed=derive_generator(seed, 5, i), max_rounds=cap,
+        )
+        result.rows.append(
+            {
+                "family": name,
+                "age-based mean": float(np.mean(age)),
+                "eg mean": float(np.mean(eg)),
+                "decay mean": float(np.mean(decay)),
+            }
+        )
+    result.notes.append(
+        "the adaptive protocol still cannot beat the diameter floor "
+        "(compare its torus/rgg rows with gnp) — adaptivity removes the "
+        "interior's noise, not the distance"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# E17 — degree heterogeneity (power-law Chung–Lu graphs)
+# ----------------------------------------------------------------------
+
+
+def e17_degree_heterogeneity(quick: bool = True, seed: SeedLike = 0) -> ExperimentResult:
+    """What the paper's near-uniform-degree assumption is worth.
+
+    The Section 2 setup guarantees every degree lies in ``[alpha d, beta d]``;
+    the selective rules are tuned to that single scale.  On power-law
+    Chung-Lu graphs with the *same mean degree* the hubs collide and the
+    leaves starve — this experiment measures the slowdown per protocol and
+    tail exponent.
+    """
+    from ..graphs.powerlaw import chung_lu, powerlaw_weights
+    from ..graphs.properties import largest_component
+
+    n = 1024
+    mean_degree = 16.0
+    reps = 5 if quick else 10
+    exponents = [2.2, 2.5, 3.0]
+    result = ExperimentResult(
+        experiment_id="E17",
+        title=f"Degree heterogeneity: power-law Chung-Lu vs G(n, p) (n = {n}, mean d = {mean_degree:g})",
+        claim=(
+            "Extension: the Theorem 5/7 analyses assume degrees "
+            "concentrate in [alpha*d, beta*d] (Section 2); with power-law "
+            "degrees of the same mean, the uniform-rate protocols slow "
+            "down and the slowdown grows as the tail gets heavier "
+            "(smaller exponent)"
+        ),
+        columns=[
+            "graph",
+            "max degree",
+            "giant size",
+            "eg mean",
+            "decay mean",
+            "age-based mean",
+        ],
+    )
+    cases: list[tuple[str, object]] = [
+        ("gnp (uniform)", gnp_connected(n, mean_degree / n, derive_generator(seed, 1))),
+    ]
+    for j, gamma in enumerate(exponents):
+        w = powerlaw_weights(n, gamma, mean_degree)
+        g = chung_lu(w, derive_generator(seed, 2, j))
+        giant = largest_component(g)
+        sub, _ = g.subgraph(giant)
+        cases.append((f"chung-lu gamma={gamma:g}", sub))
+    cap = 30000
+    for i, (name, g) in enumerate(cases):
+        net = RadioNetwork(g)
+        m = g.n
+        d_eff = max(g.average_degree, 2.0)
+        p_eff = d_eff / m
+        eg = protocol_times(
+            net, EGRandomizedProtocol(m, p_eff), repetitions=reps,
+            seed=derive_generator(seed, 3, i), p=p_eff, max_rounds=cap,
+        )
+        decay = protocol_times(
+            net, DecayProtocol(m), repetitions=reps,
+            seed=derive_generator(seed, 4, i), max_rounds=cap,
+        )
+        age = protocol_times(
+            net, AgeBasedProtocol(m, p_eff), repetitions=reps,
+            seed=derive_generator(seed, 5, i), max_rounds=cap,
+        )
+        result.rows.append(
+            {
+                "graph": name,
+                "max degree": g.max_degree,
+                "giant size": m,
+                "eg mean": float(np.mean(eg)),
+                "decay mean": float(np.mean(decay)),
+                "age-based mean": float(np.mean(age)),
+            }
+        )
+    result.notes.append(
+        "broadcast runs on the giant component of each Chung-Lu sample "
+        "(isolated low-weight leaves are unreachable by definition); the "
+        "per-row n is the 'giant size' column"
+    )
+    return result

@@ -1,0 +1,106 @@
+"""Plain-text and markdown table rendering for experiment results.
+
+Rows are plain dicts; columns are selected and ordered explicitly so the
+printed tables are stable across runs (benchmarks diff them).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_value", "format_table", "format_markdown_table", "format_sparkline"]
+
+
+def format_value(value: Any, float_digits: int = 3) -> str:
+    """Human-friendly cell rendering (floats trimmed, None blank)."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{float_digits}g}"
+    return str(value)
+
+
+def _render(rows: Sequence[Mapping[str, Any]], columns: Sequence[str], float_digits: int):
+    header = [str(c) for c in columns]
+    body = [[format_value(r.get(c), float_digits) for c in columns] for r in rows]
+    widths = [
+        max(len(header[j]), *(len(row[j]) for row in body)) if body else len(header[j])
+        for j in range(len(columns))
+    ]
+    return header, body, widths
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str],
+    *,
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Aligned ASCII table (right-aligned numeric-looking cells)."""
+    if not columns:
+        raise ValueError("columns must be non-empty")
+    header, body, widths = _render(rows, columns, float_digits)
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for row in body:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str],
+    *,
+    float_digits: int = 3,
+) -> str:
+    """GitHub-flavoured markdown table."""
+    if not columns:
+        raise ValueError("columns must be non-empty")
+    header, body, _ = _render(rows, columns, float_digits)
+    lines = ["| " + " | ".join(header) + " |", "|" + "|".join("---" for _ in header) + "|"]
+    for row in body:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_sparkline(values, width: int = 60) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Downsamples to ``width`` buckets (max within each bucket) so long
+    informed-curves stay one terminal line.  Constant series render flat
+    at the lowest level.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot sparkline an empty series")
+    if len(vals) > width:
+        # Bucket by max: completion spikes stay visible.
+        buckets = []
+        step = len(vals) / width
+        for i in range(width):
+            lo = int(i * step)
+            hi = max(lo + 1, int((i + 1) * step))
+            buckets.append(max(vals[lo:hi]))
+        vals = buckets
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_CHARS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)

@@ -1,0 +1,129 @@
+"""Result containers and measurement helpers shared by all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .._typing import SeedLike
+from ..errors import BroadcastIncompleteError
+from ..radio.model import RadioNetwork
+from ..radio.protocol import RadioProtocol
+from ..radio.simulator import broadcast_time
+from ..rng import spawn_generators
+from ..theory.fitting import FitResult
+from .report import format_markdown_table, format_table
+
+__all__ = ["ExperimentResult", "aggregate", "protocol_times", "scheduler_rounds"]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's reproduced table plus the fits that test the claim.
+
+    Attributes
+    ----------
+    experiment_id: "E1" ... "E12".
+    title: short description.
+    claim: the paper statement being reproduced.
+    columns: ordered column names of ``rows``.
+    rows: the regenerated table, one dict per row.
+    fits: named scaling fits supporting the claim.
+    notes: free-form observations recorded during the run.
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    fits: dict[str, FitResult] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def table(self, *, float_digits: int = 3) -> str:
+        """Render the result as an aligned text table with fit footer."""
+        parts = [
+            format_table(
+                self.rows,
+                self.columns,
+                title=f"[{self.experiment_id}] {self.title}",
+                float_digits=float_digits,
+            )
+        ]
+        for name, fit in self.fits.items():
+            parts.append(f"fit {name}: {fit}")
+        parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """Markdown rendering for EXPERIMENTS.md."""
+        parts = [
+            f"### {self.experiment_id} — {self.title}",
+            "",
+            f"*Claim:* {self.claim}",
+            "",
+            format_markdown_table(self.rows, self.columns),
+        ]
+        if self.fits:
+            parts.append("")
+            parts.extend(f"* fit `{name}`: {fit}" for name, fit in self.fits.items())
+        if self.notes:
+            parts.append("")
+            parts.extend(f"* {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def column(self, name: str) -> np.ndarray:
+        """One column of the table as a float array (NaN for missing)."""
+        return np.array(
+            [float(r[name]) if r.get(name) is not None else np.nan for r in self.rows]
+        )
+
+
+def aggregate(values) -> dict[str, float]:
+    """Mean/std/min/max summary of a sample of measurements."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot aggregate an empty sample")
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+
+
+def protocol_times(
+    network: RadioNetwork,
+    protocol: RadioProtocol,
+    *,
+    repetitions: int,
+    seed: SeedLike,
+    source: int = 0,
+    max_rounds: int | None = None,
+    p: float | None = None,
+) -> np.ndarray:
+    """Completion times over repetitions; ``inf`` entries for budget misses."""
+    out = np.empty(repetitions, dtype=float)
+    for i, rng in enumerate(spawn_generators(seed, repetitions)):
+        try:
+            out[i] = broadcast_time(
+                network, protocol, source, seed=rng, max_rounds=max_rounds, p=p
+            )
+        except BroadcastIncompleteError:
+            out[i] = np.inf
+    return out
+
+
+def scheduler_rounds(
+    scheduler_factory,
+    graphs,
+    source: int = 0,
+) -> np.ndarray:
+    """Schedule lengths of ``scheduler_factory()`` across a list of graphs."""
+    out = np.empty(len(graphs), dtype=float)
+    for i, adj in enumerate(graphs):
+        schedule = scheduler_factory().build(adj, source)
+        out[i] = len(schedule)
+    return out

@@ -1,0 +1,21 @@
+"""Fault injection: crash faults and lossy links for robustness studies.
+
+The paper analyses a fault-free channel; a deployable broadcast stack has
+to survive node crashes and link outages.  This subpackage wraps the
+radio substrate with two orthogonal fault models:
+
+* :class:`~repro.faults.models.CrashSchedule` — nodes crash-stop at
+  pre-sampled rounds (they stop transmitting *and* receiving);
+* :class:`~repro.faults.models.LossyLinkModel` — each edge is
+  independently down in each round with probability ``1 - reliability``
+  (optionally per-direction, modelling asymmetric fading).
+
+:func:`~repro.faults.simulator.simulate_broadcast_faulty` runs any
+distributed protocol under both models; experiment E14 measures which
+protocol's redundancy pays for itself as reliability degrades.
+"""
+
+from .models import CrashSchedule, LossyLinkModel
+from .simulator import simulate_broadcast_faulty
+
+__all__ = ["CrashSchedule", "LossyLinkModel", "simulate_broadcast_faulty"]

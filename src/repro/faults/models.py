@@ -1,0 +1,140 @@
+"""Fault model definitions: crash schedules and lossy links."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import BoolArray, IntArray, SeedLike
+from ..errors import InvalidParameterError
+from ..graphs.adjacency import Adjacency
+from ..rng import as_generator
+
+__all__ = ["CrashSchedule", "LossyLinkModel"]
+
+
+class CrashSchedule:
+    """Crash-stop faults: node ``v`` is dead from round ``crash_round[v]`` on.
+
+    ``-1`` means the node never crashes.  Dead nodes neither transmit nor
+    receive (they also stop colliding — their radio is off).
+    """
+
+    def __init__(self, crash_round: np.ndarray):
+        crash_round = np.asarray(crash_round, dtype=np.int64)
+        if crash_round.ndim != 1:
+            raise InvalidParameterError("crash_round must be a 1-D array")
+        if np.any(crash_round < -1):
+            raise InvalidParameterError("crash rounds must be >= -1")
+        self.crash_round: IntArray = crash_round
+
+    @classmethod
+    def none(cls, n: int) -> "CrashSchedule":
+        """No crashes."""
+        return cls(np.full(n, -1, dtype=np.int64))
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        crash_fraction: float,
+        max_round: int,
+        seed: SeedLike = None,
+        *,
+        protect: IntArray | list[int] = (),
+    ) -> "CrashSchedule":
+        """Crash a random fraction of nodes at uniform random rounds.
+
+        ``protect`` lists nodes that never crash (typically the source —
+        a crashed source before round 1 makes every run vacuous).
+        """
+        if not 0.0 <= crash_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"crash_fraction must lie in [0, 1], got {crash_fraction}"
+            )
+        if max_round < 1:
+            raise InvalidParameterError(f"max_round must be >= 1, got {max_round}")
+        rng = as_generator(seed)
+        crash = np.full(n, -1, dtype=np.int64)
+        eligible = np.setdiff1d(np.arange(n), np.asarray(protect, dtype=np.int64))
+        k = int(round(crash_fraction * eligible.size))
+        if k:
+            victims = rng.choice(eligible, size=k, replace=False)
+            crash[victims] = rng.integers(1, max_round + 1, size=k)
+        return cls(crash)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes covered by the schedule."""
+        return self.crash_round.size
+
+    def alive_at(self, t: int) -> BoolArray:
+        """Mask of nodes still alive in round ``t`` (1-indexed)."""
+        return (self.crash_round < 0) | (self.crash_round > t)
+
+    def eventually_alive(self) -> BoolArray:
+        """Nodes that never crash (the completion target set)."""
+        return self.crash_round < 0
+
+    def num_crashes(self) -> int:
+        """Total nodes that crash at some point."""
+        return int(np.count_nonzero(self.crash_round >= 0))
+
+
+class LossyLinkModel:
+    """Per-round independent link outages.
+
+    Parameters
+    ----------
+    adj: the underlying topology.
+    reliability: probability an edge is up in a given round.
+    asymmetric: sample each direction independently (fading is rarely
+        reciprocal); symmetric outage otherwise.
+    """
+
+    def __init__(self, adj: Adjacency, reliability: float, *, asymmetric: bool = False):
+        if not 0.0 < reliability <= 1.0:
+            raise InvalidParameterError(
+                f"reliability must lie in (0, 1], got {reliability}"
+            )
+        self.adj = adj
+        self.reliability = reliability
+        self.asymmetric = asymmetric
+        self._edges = adj.edges()
+
+    def sample_round_counts(
+        self,
+        transmitting: BoolArray,
+        carrying: BoolArray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-node (total, message) arrival counts for one faulty round.
+
+        Each surviving directed delivery ``u -> v`` requires ``u``
+        transmitting and the (directed) link up this round.
+        """
+        u = self._edges[:, 0]
+        v = self._edges[:, 1]
+        n = self.adj.n
+        if self.asymmetric:
+            up_uv = rng.random(u.size) < self.reliability
+            up_vu = rng.random(u.size) < self.reliability
+        else:
+            up = rng.random(u.size) < self.reliability
+            up_uv = up_vu = up
+        total = np.zeros(n, dtype=np.int64)
+        message = np.zeros(n, dtype=np.int64)
+        # u -> v deliveries.
+        live = up_uv & transmitting[u]
+        np.add.at(total, v[live], 1)
+        live_msg = live & carrying[u]
+        np.add.at(message, v[live_msg], 1)
+        # v -> u deliveries.
+        live = up_vu & transmitting[v]
+        np.add.at(total, u[live], 1)
+        live_msg = live & carrying[v]
+        np.add.at(message, u[live_msg], 1)
+        return total, message
+
+    def __repr__(self) -> str:
+        mode = "asymmetric" if self.asymmetric else "symmetric"
+        return f"LossyLinkModel(reliability={self.reliability:g}, {mode})"

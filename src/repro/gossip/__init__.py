@@ -1,0 +1,29 @@
+"""Radio gossiping — the paper's open problem, built out.
+
+The paper's conclusions point from broadcasting (one rumor, one source) to
+*gossiping*: every node starts with its own rumor and all nodes must learn
+all rumors.  In the radio model a transmitter sends **everything it
+currently knows** in one step (unbounded message size), and the collision
+rule is unchanged: a listener receives iff exactly one neighbour
+transmits.
+
+* :func:`~repro.gossip.simulator.simulate_gossip` — the knowledge-matrix
+  simulator; any oblivious/uniform/decay protocol drives the transmit
+  decisions.
+* :class:`~repro.gossip.trace.GossipTrace` — per-round knowledge growth,
+  completion time, and the broadcast-vs-gossip comparison quantities of
+  experiment E13.
+"""
+
+from .multimessage import multimessage_time, simulate_multimessage
+from .simulator import gossip_time, simulate_gossip
+from .trace import GossipRoundRecord, GossipTrace
+
+__all__ = [
+    "simulate_gossip",
+    "gossip_time",
+    "simulate_multimessage",
+    "multimessage_time",
+    "GossipTrace",
+    "GossipRoundRecord",
+]

@@ -1,0 +1,119 @@
+"""The gossip simulator: knowledge-matrix dynamics over the radio kernel.
+
+State is the boolean knowledge matrix ``K`` with ``K[v, r]`` = "node v
+knows rumor r" (initially the identity).  One round:
+
+1. the protocol picks transmitters (every node always has content — at
+   least its own rumor — so the whole population is eligible);
+2. the radio collision rule decides who receives: a listener with exactly
+   one transmitting neighbour hears that neighbour;
+3. each receiver ORs the sender's knowledge row (as of the round start,
+   i.e. all merges happen synchronously) into its own.
+
+Memory is ``n²`` booleans — a 4096-node network costs 16 MB, ample for
+the E13 ladder; the per-round cost is one sparse matvec plus one row-wise
+OR over the receivers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._typing import SeedLike
+from ..errors import BroadcastIncompleteError, DisconnectedGraphError
+from ..graphs.bfs import bfs_distances
+from ..radio.model import RadioNetwork
+from ..radio.protocol import RadioProtocol
+from ..rng import as_generator
+from .trace import GossipRoundRecord, GossipTrace
+
+__all__ = ["simulate_gossip", "gossip_time", "default_gossip_round_cap"]
+
+
+def default_gossip_round_cap(n: int) -> int:
+    """Round budget: gossip needs both accumulate and disseminate phases."""
+    return 400 + 120 * max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def simulate_gossip(
+    network: RadioNetwork,
+    protocol: RadioProtocol,
+    *,
+    p: float | None = None,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    check_connected: bool = True,
+) -> GossipTrace:
+    """Run gossip until every node knows every rumor.
+
+    Parameters
+    ----------
+    network: the radio network; every node starts with its own rumor.
+    protocol: transmit rule; it is handed an all-true ``informed`` mask
+        (in gossip every node always has something to say), so any
+        broadcast protocol — uniform, decay, oblivious — plugs in
+        directly.
+    p: edge-probability hint for :meth:`RadioProtocol.prepare`.
+    seed: RNG seed/generator.
+    max_rounds: budget; default :func:`default_gossip_round_cap`.
+
+    Raises
+    ------
+    BroadcastIncompleteError
+        When the budget runs out (the partial trace is attached).
+    """
+    n = network.n
+    if check_connected and np.any(bfs_distances(network.adj, 0) < 0):
+        raise DisconnectedGraphError(
+            "network is disconnected; gossip cannot complete"
+        )
+    if max_rounds is None:
+        max_rounds = default_gossip_round_cap(n)
+    rng = as_generator(seed)
+    protocol.prepare(n, p, 0)
+    knowledge = np.eye(n, dtype=bool)
+    all_informed = np.ones(n, dtype=bool)
+    zero_round = np.zeros(n, dtype=np.int64)
+    trace = GossipTrace(n=n)
+    for t in range(1, max_rounds + 1):
+        if bool(np.all(knowledge)):
+            break
+        mask = np.asarray(
+            protocol.transmit_mask(t, all_informed, zero_round, rng), dtype=bool
+        )
+        result = network.step(mask, all_informed)
+        receivers = np.flatnonzero(result.received)
+        if receivers.size:
+            senders = result.informer[receivers]
+            # Synchronous merge: OR in the senders' rows as of round start.
+            knowledge[receivers] |= knowledge[senders]
+        counts = knowledge.sum(axis=1)
+        trace.records.append(
+            GossipRoundRecord(
+                round_index=t,
+                num_transmitters=result.num_transmitters,
+                num_receivers=int(receivers.size),
+                pairs_known=int(counts.sum()),
+                min_knowledge=int(counts.min()),
+                nodes_complete=int(np.count_nonzero(counts == n)),
+            )
+        )
+    trace.knowledge_counts = knowledge.sum(axis=1).astype(np.int64)
+    if not trace.completed:
+        raise BroadcastIncompleteError(
+            f"{protocol.name}: gossip incomplete after {max_rounds} rounds "
+            f"(min knowledge {int(trace.knowledge_counts.min())}/{n})",
+            trace=trace,
+        )
+    return trace
+
+
+def gossip_time(
+    network: RadioNetwork,
+    protocol: RadioProtocol,
+    **kwargs,
+) -> int:
+    """Rounds until every node knows every rumor."""
+    return simulate_gossip(network, protocol, **kwargs).completion_round

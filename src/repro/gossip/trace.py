@@ -1,0 +1,103 @@
+"""Gossip execution traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._typing import IntArray
+
+__all__ = ["GossipRoundRecord", "GossipTrace"]
+
+
+@dataclass(frozen=True)
+class GossipRoundRecord:
+    """Statistics of a single gossip round (1-indexed)."""
+
+    round_index: int
+    num_transmitters: int
+    num_receivers: int
+    pairs_known: int  # total (node, rumor) pairs known after the round
+    min_knowledge: int  # rumors known by the worst-informed node
+    nodes_complete: int  # nodes that know every rumor
+
+
+@dataclass
+class GossipTrace:
+    """Full record of one gossip (or k-token multi-message) execution.
+
+    Attributes
+    ----------
+    n: network size.
+    records: per-round statistics.
+    knowledge_counts: final per-node number of rumors known.
+    num_tokens: number of distinct rumors in play (``n`` for full gossip,
+        ``k`` for :func:`~repro.gossip.multimessage.simulate_multimessage`).
+    """
+
+    n: int
+    records: list[GossipRoundRecord] = field(default_factory=list)
+    knowledge_counts: IntArray | None = None
+    num_tokens: int | None = None
+
+    @property
+    def tokens(self) -> int:
+        """Distinct rumors in play (defaults to ``n``)."""
+        return self.n if self.num_tokens is None else self.num_tokens
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds executed."""
+        return len(self.records)
+
+    @property
+    def completed(self) -> bool:
+        """True iff every node knows every rumor."""
+        if self.knowledge_counts is None:
+            return False
+        return bool(np.all(self.knowledge_counts == self.tokens))
+
+    @property
+    def completion_round(self) -> int:
+        """First round after which all nodes know all rumors."""
+        if not self.completed:
+            raise ValueError("gossip did not complete; no completion round")
+        for rec in self.records:
+            if rec.nodes_complete == self.n:
+                return rec.round_index
+        return self.num_rounds
+
+    def rounds_until_first_complete_node(self) -> int:
+        """First round after which some node knows everything.
+
+        The gap between this and :attr:`completion_round` is the
+        accumulate-vs-disseminate split of gossip time.
+        """
+        for rec in self.records:
+            if rec.nodes_complete >= 1:
+                return rec.round_index
+        raise ValueError("no node ever accumulated all rumors")
+
+    def knowledge_curve(self) -> IntArray:
+        """``curve[t]`` = total (node, rumor) pairs known after round ``t``.
+
+        ``curve[0]`` is the initial pair count (``n`` for full gossip —
+        everyone knows their own rumor — or ``k`` for k-token runs).
+        """
+        counts = [self.tokens]
+        counts.extend(rec.pairs_known for rec in self.records)
+        return np.array(counts, dtype=np.int64)
+
+    def summary(self) -> dict:
+        """Headline numbers for reports."""
+        return {
+            "n": self.n,
+            "rounds": self.num_rounds,
+            "completed": self.completed,
+            "pairs_known": int(self.records[-1].pairs_known) if self.records else self.n,
+        }
+
+    def __repr__(self) -> str:
+        status = "complete" if self.completed else "incomplete"
+        return f"GossipTrace(n={self.n}, rounds={self.num_rounds}, {status})"

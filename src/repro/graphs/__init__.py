@@ -1,0 +1,92 @@
+"""Graph substrate: CSR adjacency, generators, properties, layers, covers.
+
+This subpackage provides everything the radio simulator and the paper's
+combinatorial lemmas need:
+
+* :class:`~repro.graphs.adjacency.Adjacency` — immutable CSR adjacency
+  structure with vectorized neighbour kernels (S1 in DESIGN.md).
+* :mod:`~repro.graphs.random_graphs` — `G(n,p)` / `G(n,m)` generators (S2).
+* :mod:`~repro.graphs.families` — deterministic comparison families (S3).
+* :mod:`~repro.graphs.properties` / :mod:`~repro.graphs.bfs` — connectivity,
+  distances, diameter (S4).
+* :mod:`~repro.graphs.layers` — BFS layer decompositions and the Lemma 3
+  statistics (S5).
+* :mod:`~repro.graphs.covering` — minimal/independent coverings and
+  independent matchings, Proposition 2 and Lemma 4 machinery (S6).
+"""
+
+from .adjacency import Adjacency
+from .bfs import bfs_distances, bfs_tree
+from .covering import (
+    greedy_independent_cover,
+    independent_matching_from_covering,
+    is_covering,
+    is_independent_covering,
+    is_independent_matching,
+    minimal_covering,
+)
+from .families import (
+    balanced_tree,
+    complete_graph,
+    cycle_graph,
+    grid_2d,
+    hypercube,
+    path_graph,
+    random_regular,
+    star_graph,
+    torus_2d,
+)
+from .geometric import (
+    GeometricLayout,
+    connectivity_radius,
+    random_geometric,
+    random_geometric_connected,
+)
+from .layers import LayerDecomposition, layer_decomposition
+from .powerlaw import chung_lu, chung_lu_connected, powerlaw_weights
+from .properties import (
+    connected_components,
+    diameter,
+    eccentricity,
+    is_connected,
+    largest_component,
+)
+from .random_graphs import gnm, gnp, gnp_connected
+
+__all__ = [
+    "Adjacency",
+    "bfs_distances",
+    "bfs_tree",
+    "gnp",
+    "gnm",
+    "gnp_connected",
+    "hypercube",
+    "grid_2d",
+    "torus_2d",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "random_regular",
+    "balanced_tree",
+    "is_connected",
+    "connected_components",
+    "largest_component",
+    "diameter",
+    "eccentricity",
+    "LayerDecomposition",
+    "layer_decomposition",
+    "random_geometric",
+    "random_geometric_connected",
+    "connectivity_radius",
+    "GeometricLayout",
+    "minimal_covering",
+    "greedy_independent_cover",
+    "independent_matching_from_covering",
+    "is_covering",
+    "is_independent_covering",
+    "is_independent_matching",
+    "chung_lu",
+    "chung_lu_connected",
+    "powerlaw_weights",
+]

@@ -1,0 +1,222 @@
+"""Deterministic and structured graph families.
+
+These are the comparison classes discussed in the paper's related-work
+section (Feige et al. analysed rumor spreading on bounded-degree graphs and
+hypercubes); experiment E12 runs the distributed broadcast protocol on them
+to contrast with ``G(n, p)``.
+
+All constructors return :class:`~repro.graphs.adjacency.Adjacency` with
+nodes labelled ``0 .. n-1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import SeedLike
+from ..errors import GraphError, InvalidParameterError
+from ..rng import as_generator
+from .adjacency import Adjacency
+
+__all__ = [
+    "complete_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "grid_2d",
+    "torus_2d",
+    "hypercube",
+    "balanced_tree",
+    "random_regular",
+]
+
+
+def complete_graph(n: int) -> Adjacency:
+    """Clique on ``n`` nodes."""
+    if n < 0:
+        raise InvalidParameterError(f"n must be non-negative, got {n}")
+    if n <= 1:
+        return Adjacency.empty(n)
+    indptr = np.arange(n + 1, dtype=np.int64) * (n - 1)
+    cols = np.tile(np.arange(n, dtype=np.int64), n).reshape(n, n)
+    # Row v's neighbours: all nodes except v, already sorted.
+    mask = cols != np.arange(n, dtype=np.int64)[:, None]
+    indices = cols[mask]
+    return Adjacency(indptr, indices, validate=False)
+
+
+def path_graph(n: int) -> Adjacency:
+    """Simple path ``0 - 1 - ... - n-1`` (diameter ``n - 1``)."""
+    if n < 0:
+        raise InvalidParameterError(f"n must be non-negative, got {n}")
+    if n <= 1:
+        return Adjacency.empty(n)
+    u = np.arange(n - 1, dtype=np.int64)
+    return Adjacency.from_edges(n, np.column_stack([u, u + 1]))
+
+
+def cycle_graph(n: int) -> Adjacency:
+    """Cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise InvalidParameterError(f"cycle needs n >= 3, got {n}")
+    u = np.arange(n, dtype=np.int64)
+    return Adjacency.from_edges(n, np.column_stack([u, (u + 1) % n]))
+
+
+def star_graph(n: int) -> Adjacency:
+    """Star: node 0 joined to ``1 .. n-1`` (the worst case for collisions)."""
+    if n < 1:
+        raise InvalidParameterError(f"star needs n >= 1, got {n}")
+    if n == 1:
+        return Adjacency.empty(1)
+    leaves = np.arange(1, n, dtype=np.int64)
+    return Adjacency.from_edges(n, np.column_stack([np.zeros(n - 1, dtype=np.int64), leaves]))
+
+
+def _grid_edges(rows: int, cols: int, wrap: bool) -> np.ndarray:
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    edges = []
+    # Horizontal neighbours.
+    edges.append(np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()]))
+    # Vertical neighbours.
+    edges.append(np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()]))
+    if wrap:
+        if cols > 2:
+            edges.append(np.column_stack([idx[:, -1].ravel(), idx[:, 0].ravel()]))
+        if rows > 2:
+            edges.append(np.column_stack([idx[-1, :].ravel(), idx[0, :].ravel()]))
+    return np.concatenate(edges, axis=0) if edges else np.empty((0, 2), dtype=np.int64)
+
+
+def grid_2d(rows: int, cols: int) -> Adjacency:
+    """``rows x cols`` grid; node ``(r, c)`` has id ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise InvalidParameterError(f"grid needs positive dimensions, got {rows}x{cols}")
+    return Adjacency.from_edges(rows * cols, _grid_edges(rows, cols, wrap=False))
+
+
+def torus_2d(rows: int, cols: int) -> Adjacency:
+    """``rows x cols`` torus (grid with wraparound, 4-regular when dims > 2)."""
+    if rows < 1 or cols < 1:
+        raise InvalidParameterError(f"torus needs positive dimensions, got {rows}x{cols}")
+    return Adjacency.from_edges(rows * cols, _grid_edges(rows, cols, wrap=True))
+
+
+def hypercube(dim: int) -> Adjacency:
+    """``dim``-dimensional hypercube on ``2**dim`` nodes.
+
+    Node ``v`` is adjacent to ``v XOR 2**k`` for every bit ``k`` — the
+    ``log n``-regular, ``log n``-diameter family from the rumor-spreading
+    literature.
+    """
+    if dim < 0:
+        raise InvalidParameterError(f"dimension must be non-negative, got {dim}")
+    n = 1 << dim
+    if dim == 0:
+        return Adjacency.empty(1)
+    v = np.arange(n, dtype=np.int64)
+    bits = np.int64(1) << np.arange(dim, dtype=np.int64)
+    src = np.repeat(v, dim)
+    dst = (v[:, None] ^ bits[None, :]).ravel()
+    keep = src < dst
+    return Adjacency.from_edges(n, np.column_stack([src[keep], dst[keep]]))
+
+
+def balanced_tree(branching: int, height: int) -> Adjacency:
+    """Complete ``branching``-ary tree of the given height (root id 0).
+
+    ``height = 0`` is a single node.  Node count is
+    ``(branching**(height+1) - 1) / (branching - 1)`` for ``branching >= 2``.
+    """
+    if branching < 1:
+        raise InvalidParameterError(f"branching must be >= 1, got {branching}")
+    if height < 0:
+        raise InvalidParameterError(f"height must be non-negative, got {height}")
+    if branching == 1:
+        return path_graph(height + 1)
+    n = (branching ** (height + 1) - 1) // (branching - 1)
+    if n == 1:
+        return Adjacency.empty(1)
+    child = np.arange(1, n, dtype=np.int64)
+    parent = (child - 1) // branching
+    return Adjacency.from_edges(n, np.column_stack([parent, child]))
+
+
+def random_regular(n: int, degree: int, seed: SeedLike = None, *, max_attempts: int = 50) -> Adjacency:
+    """Random ``degree``-regular simple graph via pairing with swap repair.
+
+    Draws a uniform perfect matching on ``n * degree`` stubs, then removes
+    self-loops and multi-edges by double-edge swaps against randomly chosen
+    good edges (pure rejection is hopeless beyond ``degree ≈ 6``: the
+    pairing is simple with probability ``≈ e^{-(d²-1)/4}``).  The repaired
+    graph is approximately, not exactly, uniform — standard practice and
+    ample for the E12 comparison workload.
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be non-negative, got {n}")
+    if degree < 0 or (n > 0 and degree >= n):
+        if not (n == 0 and degree == 0):
+            raise InvalidParameterError(f"degree must lie in [0, n), got {degree} for n={n}")
+    if (n * degree) % 2 != 0:
+        raise InvalidParameterError(f"n * degree must be even, got n={n}, degree={degree}")
+    if n == 0 or degree == 0:
+        return Adjacency.empty(n)
+    rng = as_generator(seed)
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degree)
+    for _ in range(max_attempts):
+        perm = rng.permutation(stubs)
+        edges = _repair_pairing(perm[0::2].copy(), perm[1::2].copy(), n, rng)
+        if edges is not None:
+            return Adjacency.from_edges(n, edges)
+    raise GraphError(
+        f"could not repair a {degree}-regular pairing on {n} nodes in "
+        f"{max_attempts} attempts; degree may be too large for n"
+    )
+
+
+def _repair_pairing(
+    u: np.ndarray, v: np.ndarray, n: int, rng: np.random.Generator
+) -> np.ndarray | None:
+    """Remove loops/multi-edges from a stub pairing by double-edge swaps.
+
+    A bad edge ``(u_i, v_i)`` is swapped with a random edge ``(u_j, v_j)``
+    into ``(u_i, v_j), (u_j, v_i)``, accepted when both replacements are
+    loop-free and currently unused.  Returns ``None`` if repair stalls
+    (caller redraws the pairing).
+    """
+
+    def edge_key(a, b):
+        return np.minimum(a, b) * np.int64(n) + np.maximum(a, b)
+
+    m = u.size
+    budget = 200 * m + 1000
+    for _ in range(200):  # repair sweeps
+        keys = edge_key(u, v)
+        order = np.argsort(keys)
+        dup = np.zeros(m, dtype=bool)
+        dup[order[1:]] = keys[order[1:]] == keys[order[:-1]]
+        bad = np.flatnonzero((u == v) | dup)
+        if bad.size == 0:
+            return np.column_stack([u, v])
+        used = set(keys.tolist())
+        for i in bad:
+            for _ in range(50):  # swap attempts per bad edge
+                if budget <= 0:
+                    return None
+                budget -= 1
+                j = int(rng.integers(m))
+                if j == i:
+                    continue
+                a1, b1 = int(u[i]), int(v[j])
+                a2, b2 = int(u[j]), int(v[i])
+                if a1 == b1 or a2 == b2:
+                    continue
+                k1 = min(a1, b1) * n + max(a1, b1)
+                k2 = min(a2, b2) * n + max(a2, b2)
+                if k1 in used or k2 in used or k1 == k2:
+                    continue
+                v[i], v[j] = v[j], v[i]
+                used.add(k1)
+                used.add(k2)
+                break
+    return None

@@ -1,0 +1,175 @@
+"""Random geometric graphs — the physical radio-deployment topology.
+
+The paper models topology with `G(n, p)`; real radio deployments are
+usually modelled by the *random geometric graph* `RGG(n, r)`: nodes
+scattered uniformly in the unit square, an edge whenever two nodes are
+within transmission radius ``r``.  Experiment E15 contrasts the paper's
+protocols on both — RGG has diameter `Θ(1/r)`, so the `O(ln n)` behaviour
+of `G(n, p)` gives way to a diameter-dominated regime, the same effect as
+the torus row of E12 but on the canonical wireless model.
+
+Construction is `O(n + m)` expected: a ``ceil(1/r)``-cell grid bucket
+assigns each node to a cell, and only the 3×3 cell neighbourhood is
+scanned per node.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._typing import SeedLike
+from ..errors import GraphError, InvalidParameterError
+from ..rng import as_generator
+from .adjacency import Adjacency
+
+__all__ = [
+    "random_geometric",
+    "random_geometric_connected",
+    "connectivity_radius",
+    "GeometricLayout",
+]
+
+
+class GeometricLayout:
+    """A geometric graph together with its node coordinates.
+
+    Attributes
+    ----------
+    adj: the adjacency structure.
+    positions: ``(n, 2)`` array of coordinates in the unit square.
+    radius: the connection radius used.
+    """
+
+    def __init__(self, adj: Adjacency, positions: np.ndarray, radius: float):
+        self.adj = adj
+        self.positions = positions
+        self.radius = radius
+
+    def __repr__(self) -> str:
+        return (
+            f"GeometricLayout(n={self.adj.n}, m={self.adj.num_edges}, "
+            f"radius={self.radius:.4f})"
+        )
+
+
+def connectivity_radius(n: int, constant: float = 2.5) -> float:
+    """The RGG connectivity threshold radius ``sqrt(c * ln n / (π n))``.
+
+    ``c > 1`` gives connectivity w.h.p. (Gupta–Kumar); the asymptotic
+    threshold converges slowly, so the default 2.5 provides the margin
+    simulable sizes need (``c = 1.5`` still leaves isolated corner nodes
+    at n ≈ 500).
+    """
+    if n < 2:
+        raise InvalidParameterError(f"need n >= 2, got {n}")
+    if constant <= 0:
+        raise InvalidParameterError(f"constant must be positive, got {constant}")
+    return min(1.5, math.sqrt(constant * math.log(n) / (math.pi * n)))
+
+
+def random_geometric(
+    n: int,
+    radius: float,
+    seed: SeedLike = None,
+    *,
+    return_layout: bool = False,
+) -> Adjacency | GeometricLayout:
+    """Sample ``RGG(n, radius)`` on the unit square.
+
+    Parameters
+    ----------
+    n: number of nodes.
+    radius: connection radius (Euclidean, no wraparound).
+    return_layout: also return the coordinates (as a
+        :class:`GeometricLayout`).
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be non-negative, got {n}")
+    if radius <= 0:
+        raise InvalidParameterError(f"radius must be positive, got {radius}")
+    rng = as_generator(seed)
+    pos = rng.random((n, 2))
+    if n == 0:
+        g = Adjacency.empty(0)
+        return GeometricLayout(g, pos, radius) if return_layout else g
+
+    # Grid-bucket neighbour search: cell side >= radius, so every edge
+    # lies within a 3x3 cell neighbourhood.
+    cells = max(1, int(1.0 / radius))
+    cell_of = np.minimum((pos * cells).astype(np.int64), cells - 1)
+    cell_id = cell_of[:, 0] * cells + cell_of[:, 1]
+    order = np.argsort(cell_id, kind="stable")
+    sorted_ids = cell_id[order]
+    # Start offset and size of each occupied cell within `order`.
+    uniq, first = np.unique(sorted_ids, return_index=True)
+    lookup = dict(zip(uniq.tolist(), first.tolist()))
+    counts = dict(zip(uniq.tolist(), np.diff(np.append(first, sorted_ids.size)).tolist()))
+
+    r2 = radius * radius
+    edges_u: list[np.ndarray] = []
+    edges_v: list[np.ndarray] = []
+    # Iterate occupied cells only — the grid can be far larger than n when
+    # the radius is tiny.
+    for cid in uniq.tolist():
+        cx, cy = divmod(cid, cells)
+        here = order[lookup[cid] : lookup[cid] + counts[cid]]
+        # Pair within the cell and against later-ordered neighbour cells
+        # (dx, dy) to count each pair once.
+        for dx, dy in ((0, 0), (0, 1), (1, -1), (1, 0), (1, 1)):
+            nx_, ny_ = cx + dx, cy + dy
+            if not (0 <= nx_ < cells and 0 <= ny_ < cells):
+                continue
+            nid = nx_ * cells + ny_
+            if nid not in lookup:
+                continue
+            there = order[lookup[nid] : lookup[nid] + counts[nid]]
+            if dx == 0 and dy == 0:
+                iu, iv = np.triu_indices(here.size, k=1)
+                a, b = here[iu], here[iv]
+            else:
+                a = np.repeat(here, there.size)
+                b = np.tile(there, here.size)
+            if a.size == 0:
+                continue
+            d2 = np.sum((pos[a] - pos[b]) ** 2, axis=1)
+            keep = d2 <= r2
+            if np.any(keep):
+                edges_u.append(a[keep])
+                edges_v.append(b[keep])
+    if edges_u:
+        eu = np.concatenate(edges_u)
+        ev = np.concatenate(edges_v)
+        g = Adjacency.from_edges(n, np.column_stack([eu, ev]))
+    else:
+        g = Adjacency.empty(n)
+    return GeometricLayout(g, pos, radius) if return_layout else g
+
+
+def random_geometric_connected(
+    n: int,
+    radius: float | None = None,
+    seed: SeedLike = None,
+    *,
+    max_attempts: int = 50,
+) -> Adjacency:
+    """Sample a *connected* ``RGG(n, radius)`` by rejection.
+
+    ``radius`` defaults to :func:`connectivity_radius`.  Raises
+    :class:`GraphError` after ``max_attempts`` disconnected samples (a
+    sign the radius is below the Gupta-Kumar threshold).
+    """
+    from .properties import is_connected
+
+    if radius is None:
+        radius = connectivity_radius(max(n, 2))
+    rng = as_generator(seed)
+    for _ in range(max_attempts):
+        g = random_geometric(n, radius, rng)
+        if n == 0 or is_connected(g):
+            return g
+    raise GraphError(
+        f"no connected RGG({n}, {radius:.4f}) sample in {max_attempts} "
+        f"attempts; connectivity needs r >= {connectivity_radius(max(n, 2), 1.0):.4f}"
+    )

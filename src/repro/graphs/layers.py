@@ -1,0 +1,241 @@
+"""BFS layer decomposition ``T_i(u)`` and the Lemma 3 statistics.
+
+Lemma 3 of the paper says that for ``G(n, p)`` with ``d = pn``:
+
+* layer sizes grow like ``d^i`` until they reach ``Θ(n)``, and only ``O(1)``
+  layers hold ``Ω(n/d³)`` nodes;
+* within a layer ``T_i(u)`` at most ``O(|T_i|/d²)`` nodes have more than one
+  joint neighbour (in particular more than one *parent* in ``T_{i-1}``);
+* the single-parent nodes split into sibling groups of size ``O(d)``
+  hanging off distinct parents, with no common neighbours across groups;
+* intra-layer edges are a vanishing fraction, so the ball around ``u`` is
+  almost a tree.
+
+:class:`LayerDecomposition` computes every quantity those statements bound,
+so experiments E7/E8 (and the Theorem 5 scheduler, which floods along the
+near-tree) can read them directly.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from .._typing import IntArray
+from ..errors import GraphError
+from .adjacency import Adjacency
+from .bfs import bfs_distances
+
+__all__ = ["LayerDecomposition", "layer_decomposition"]
+
+
+class LayerDecomposition:
+    """Layers of a BFS from ``source`` plus Lemma 3 structure statistics.
+
+    Parameters
+    ----------
+    adj: the graph.
+    source: BFS root ``u``.
+
+    Notes
+    -----
+    All per-layer statistics treat ``T_0 = {source}``; ``parent`` means a
+    neighbour in the previous layer.  Unreachable nodes are excluded (the
+    simulator refuses disconnected graphs anyway).
+    """
+
+    def __init__(self, adj: Adjacency, source: int):
+        if not 0 <= source < adj.n:
+            raise GraphError(f"source {source} out of range [0, {adj.n})")
+        self.adj = adj
+        self.source = source
+        self.dist: IntArray = bfs_distances(adj, source)
+        reached = self.dist >= 0
+        self.num_reached = int(np.count_nonzero(reached))
+        self.depth = int(self.dist[reached].max()) if self.num_reached else 0
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def layers(self) -> list[IntArray]:
+        """``layers[i]`` = sorted node array of ``T_i(u)``."""
+        return [np.flatnonzero(self.dist == i).astype(np.int64) for i in range(self.depth + 1)]
+
+    @cached_property
+    def sizes(self) -> IntArray:
+        """``sizes[i] = |T_i(u)|``."""
+        return np.array([layer.size for layer in self.layers], dtype=np.int64)
+
+    def layer(self, i: int) -> IntArray:
+        """Nodes of ``T_i(u)``; empty array beyond the depth."""
+        if i < 0:
+            raise GraphError(f"layer index must be non-negative, got {i}")
+        if i > self.depth:
+            return np.empty(0, dtype=np.int64)
+        return self.layers[i]
+
+    @property
+    def num_layers(self) -> int:
+        """Number of non-empty layers, ``depth + 1``."""
+        return self.depth + 1
+
+    # ------------------------------------------------------------------
+    # Edge classification (Lemma 3: the ball is almost a tree)
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def _edge_levels(self) -> tuple[IntArray, IntArray]:
+        """Distances of both endpoints of every edge (reachable ones)."""
+        edges = self.adj.edges()
+        if edges.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        du = self.dist[edges[:, 0]]
+        dv = self.dist[edges[:, 1]]
+        keep = (du >= 0) & (dv >= 0)
+        return du[keep], dv[keep]
+
+    @cached_property
+    def intra_layer_edge_counts(self) -> IntArray:
+        """``counts[i]`` = number of edges with both endpoints in ``T_i``."""
+        du, dv = self._edge_levels
+        counts = np.zeros(self.depth + 1, dtype=np.int64)
+        same = du == dv
+        if np.any(same):
+            counts += np.bincount(du[same], minlength=self.depth + 1)
+        return counts
+
+    @cached_property
+    def cross_layer_edge_counts(self) -> IntArray:
+        """``counts[i]`` = edges between ``T_{i-1}`` and ``T_i`` (``counts[0] = 0``)."""
+        du, dv = self._edge_levels
+        counts = np.zeros(self.depth + 1, dtype=np.int64)
+        hi = np.maximum(du, dv)
+        cross = du != dv  # BFS layers differ by exactly 1 across an edge
+        if np.any(cross):
+            counts += np.bincount(hi[cross], minlength=self.depth + 1)
+        return counts
+
+    @cached_property
+    def tree_excess(self) -> int:
+        """Edges beyond a spanning tree of the reachable ball.
+
+        Lemma 3 says this is small in the sparse regime: the ball is a tree
+        plus ``O(1)`` edges per low layer.
+        """
+        total_edges = int(self._edge_levels[0].size)
+        return total_edges - (self.num_reached - 1)
+
+    # ------------------------------------------------------------------
+    # Parent multiplicity (Lemma 3: few nodes share > 1 parent)
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def parent_counts(self) -> IntArray:
+        """For every node, its number of neighbours one layer closer.
+
+        The source and unreachable nodes get 0.
+        """
+        counts = np.zeros(self.adj.n, dtype=np.int64)
+        for i in range(1, self.depth + 1):
+            prev_mask = np.zeros(self.adj.n, dtype=bool)
+            prev_mask[self.layers[i - 1]] = True
+            layer = self.layers[i]
+            counts[layer] = self.adj.neighbor_counts(prev_mask)[layer]
+        return counts
+
+    def multi_parent_count(self, i: int) -> int:
+        """Number of nodes in ``T_i`` with two or more parents in ``T_{i-1}``.
+
+        Lemma 3 bounds this by ``O(|T_i| / d²)`` plus the few collision
+        vertices, for layers below the last constant-many.
+        """
+        if i <= 0 or i > self.depth:
+            return 0
+        return int(np.count_nonzero(self.parent_counts[self.layers[i]] >= 2))
+
+    def multi_parent_fractions(self) -> np.ndarray:
+        """Fraction of multi-parent nodes per layer (``nan`` for empty layers)."""
+        out = np.full(self.depth + 1, np.nan)
+        for i in range(1, self.depth + 1):
+            if self.sizes[i]:
+                out[i] = self.multi_parent_count(i) / self.sizes[i]
+        if self.depth >= 0 and self.sizes[0]:
+            out[0] = 0.0
+        return out
+
+    # ------------------------------------------------------------------
+    # Sibling groups (Lemma 3's disjoint O(pn)-size groups)
+    # ------------------------------------------------------------------
+
+    def sibling_groups(self, i: int) -> list[IntArray]:
+        """Group single-parent nodes of ``T_i`` by their unique parent.
+
+        Returns one sorted array per parent that has at least one
+        single-parent child in ``T_i``.  Lemma 3 asserts group sizes are
+        ``O(pn)`` and distinct groups share no common neighbours.
+        """
+        if i <= 0 or i > self.depth:
+            return []
+        layer = self.layers[i]
+        single = layer[self.parent_counts[layer] == 1]
+        if single.size == 0:
+            return []
+        prev = self.layers[i - 1]
+        prev_mask = np.zeros(self.adj.n, dtype=bool)
+        prev_mask[prev] = True
+        # The unique parent of each single-parent node: scan its row.
+        parents = np.empty(single.size, dtype=np.int64)
+        for k, v in enumerate(single):
+            nbrs = self.adj.neighbors(v)
+            hits = nbrs[prev_mask[nbrs]]
+            parents[k] = hits[0]
+        order = np.argsort(parents, kind="stable")
+        single, parents = single[order], parents[order]
+        cuts = np.flatnonzero(parents[1:] != parents[:-1]) + 1
+        return [np.sort(g) for g in np.split(single, cuts)]
+
+    def sibling_group_sizes(self, i: int) -> IntArray:
+        """Sizes of the sibling groups in layer ``i`` (descending)."""
+        sizes = np.array([g.size for g in self.sibling_groups(i)], dtype=np.int64)
+        return np.sort(sizes)[::-1]
+
+    # ------------------------------------------------------------------
+    # Aggregates used by experiments E7/E8
+    # ------------------------------------------------------------------
+
+    def big_layer_count(self, threshold: float) -> int:
+        """Number of layers with at least ``threshold`` nodes.
+
+        With ``threshold = n / d³`` this is the quantity Lemma 3 bounds by
+        a constant.
+        """
+        return int(np.count_nonzero(self.sizes >= threshold))
+
+    def summary(self) -> dict:
+        """Dict of headline statistics (for reports and quick inspection)."""
+        return {
+            "source": self.source,
+            "depth": self.depth,
+            "reached": self.num_reached,
+            "sizes": self.sizes.tolist(),
+            "intra_layer_edges": self.intra_layer_edge_counts.tolist(),
+            "tree_excess": self.tree_excess,
+            "multi_parent_fractions": [
+                None if np.isnan(x) else float(x) for x in self.multi_parent_fractions()
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LayerDecomposition(source={self.source}, depth={self.depth}, "
+            f"reached={self.num_reached}/{self.adj.n})"
+        )
+
+
+def layer_decomposition(adj: Adjacency, source: int) -> LayerDecomposition:
+    """Convenience constructor for :class:`LayerDecomposition`."""
+    return LayerDecomposition(adj, source)

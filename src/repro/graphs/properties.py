@@ -1,0 +1,117 @@
+"""Global graph properties: connectivity, components, diameter, eccentricity.
+
+Broadcast experiments need connectivity checks (broadcast never completes on
+a disconnected graph) and diameter estimates (the ``ln n / ln d`` term in
+the paper's bounds is, up to constants, the diameter of ``G(n, p)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import IntArray, SeedLike
+from ..errors import GraphError
+from ..rng import as_generator
+from .adjacency import Adjacency
+from .bfs import bfs_distances
+
+__all__ = [
+    "is_connected",
+    "connected_components",
+    "largest_component",
+    "eccentricity",
+    "diameter",
+    "diameter_lower_bound",
+    "degree_histogram",
+]
+
+
+def connected_components(adj: Adjacency) -> IntArray:
+    """Component label for every node (labels ``0, 1, ...`` by discovery)."""
+    n = adj.n
+    labels = np.full(n, -1, dtype=np.int64)
+    current = 0
+    for seed_node in range(n):
+        if labels[seed_node] >= 0:
+            continue
+        dist = bfs_distances(adj, seed_node)
+        labels[dist >= 0] = current
+        current += 1
+    return labels
+
+
+def is_connected(adj: Adjacency) -> bool:
+    """True iff the graph has a single connected component (and ``n >= 1``)."""
+    if adj.n == 0:
+        return False
+    return bool(np.all(bfs_distances(adj, 0) >= 0))
+
+
+def largest_component(adj: Adjacency) -> IntArray:
+    """Sorted node ids of the largest connected component."""
+    labels = connected_components(adj)
+    if labels.size == 0:
+        return np.empty(0, dtype=np.int64)
+    sizes = np.bincount(labels)
+    return np.flatnonzero(labels == np.argmax(sizes)).astype(np.int64)
+
+
+def eccentricity(adj: Adjacency, v: int) -> int:
+    """Eccentricity of ``v``: max hop distance to any reachable node.
+
+    Raises :class:`GraphError` if some node is unreachable from ``v``.
+    """
+    dist = bfs_distances(adj, v)
+    if np.any(dist < 0):
+        raise GraphError(f"graph is not connected from node {v}; eccentricity undefined")
+    return int(dist.max())
+
+
+def diameter(adj: Adjacency, *, exact_limit: int = 2048, samples: int = 64, seed: SeedLike = None) -> int:
+    """Diameter of a connected graph.
+
+    Exact (all-sources BFS) for ``n <= exact_limit``; otherwise a
+    double-sweep lower bound refined with ``samples`` random-source BFS
+    runs, which on random graphs is almost always exact because
+    eccentricities concentrate within ±1.
+    """
+    n = adj.n
+    if n == 0:
+        raise GraphError("diameter of the empty graph is undefined")
+    if n <= exact_limit:
+        best = 0
+        for v in range(n):
+            dist = bfs_distances(adj, v)
+            if np.any(dist < 0):
+                raise GraphError("graph is not connected; diameter undefined")
+            best = max(best, int(dist.max()))
+        return best
+    return diameter_lower_bound(adj, samples=samples, seed=seed)
+
+
+def diameter_lower_bound(adj: Adjacency, *, samples: int = 64, seed: SeedLike = None) -> int:
+    """Double-sweep + sampled-eccentricity lower bound on the diameter."""
+    n = adj.n
+    if n == 0:
+        raise GraphError("diameter of the empty graph is undefined")
+    rng = as_generator(seed)
+    best = 0
+    # Double sweep: BFS from a random node, then from the farthest node found.
+    start = int(rng.integers(n))
+    dist = bfs_distances(adj, start)
+    if np.any(dist < 0):
+        raise GraphError("graph is not connected; diameter undefined")
+    far = int(np.argmax(dist))
+    dist = bfs_distances(adj, far)
+    best = int(dist.max())
+    for _ in range(samples):
+        v = int(rng.integers(n))
+        best = max(best, int(bfs_distances(adj, v).max()))
+    return best
+
+
+def degree_histogram(adj: Adjacency) -> IntArray:
+    """``hist[k]`` = number of nodes of degree ``k``."""
+    if adj.n == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(adj.degrees).astype(np.int64)

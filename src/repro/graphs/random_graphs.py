@@ -1,0 +1,187 @@
+"""Random graph generators: `G(n, p)` (Gilbert) and `G(n, m)` (Erdős–Rényi).
+
+The paper studies both models and notes the results transfer between them
+(Section 1.1).  Sampling is linear in the number of edges rather than
+quadratic in ``n``:
+
+* ``G(n, p)`` is generated as the mixture ``G(n, M)`` with
+  ``M ~ Binomial(n(n-1)/2, p)`` — an exact equivalence, not an
+  approximation.
+* ``G(n, m)`` draws ``m`` distinct linear indices over the upper triangle
+  by batched rejection sampling (uniform over all edge subsets), then
+  decodes them to pairs.  Dense requests (``m`` above half the possible
+  pairs) sample the complement instead.
+
+Linear index convention: pairs ``(i, j)`` with ``i < j`` are ordered by row;
+row ``i`` starts at offset ``i*(n-1) - i*(i-1)/2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import IntArray, SeedLike
+from ..errors import GraphError, InvalidParameterError
+from ..rng import as_generator
+from .adjacency import Adjacency
+
+__all__ = [
+    "gnp",
+    "gnm",
+    "gnp_connected",
+    "pair_count",
+    "supercritical_probability",
+]
+
+
+def pair_count(n: int) -> int:
+    """Number of unordered node pairs, ``n`` choose 2."""
+    return n * (n - 1) // 2
+
+
+def supercritical_probability(n: int, delta: float = 2.0) -> float:
+    """The paper's edge-probability floor ``p = delta * ln(n) / n``.
+
+    Above ``delta = 1`` the graph is connected w.h.p.; the paper assumes a
+    constant ``delta`` large enough that degrees concentrate (Section 2).
+    """
+    if n < 2:
+        raise InvalidParameterError(f"need n >= 2, got {n}")
+    return min(1.0, delta * np.log(n) / n)
+
+
+def _row_offsets(n: int) -> IntArray:
+    """Start offset of each row in the linear upper-triangle ordering."""
+    i = np.arange(n, dtype=np.int64)
+    return i * (n - 1) - i * (i - 1) // 2
+
+
+def _decode_pairs(n: int, linear: IntArray) -> IntArray:
+    """Map sorted linear upper-triangle indices to ``(i, j)`` pairs."""
+    offsets = _row_offsets(n)
+    i = np.searchsorted(offsets, linear, side="right") - 1
+    j = linear - offsets[i] + i + 1
+    return np.column_stack([i, j])
+
+
+def _sample_distinct(rng: np.random.Generator, population: int, count: int) -> IntArray:
+    """Uniformly sample ``count`` distinct integers from ``[0, population)``.
+
+    Batched rejection sampling: equivalent to drawing one value at a time
+    and rejecting duplicates, so the resulting set is uniform over all
+    ``count``-subsets.  Expected work is ``O(count)`` while
+    ``count <= population / 2`` (the callers guarantee this).
+    """
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    if count == population:
+        return np.arange(population, dtype=np.int64)
+    accepted = np.empty(0, dtype=np.int64)
+    while accepted.size < count:
+        need = count - accepted.size
+        batch = rng.integers(0, population, size=need + max(16, need // 4), dtype=np.int64)
+        # Deduplicate within the batch preserving draw order (first wins).
+        _, first = np.unique(batch, return_index=True)
+        batch = batch[np.sort(first)]
+        # Drop values already accepted (accepted stays sorted).
+        if accepted.size:
+            pos = np.searchsorted(accepted, batch)
+            pos = np.minimum(pos, accepted.size - 1)
+            fresh = batch[accepted[pos] != batch]
+        else:
+            fresh = batch
+        take = fresh[: count - accepted.size]
+        accepted = np.sort(np.concatenate([accepted, take]))
+    return accepted
+
+
+def _sample_subset(rng: np.random.Generator, population: int, count: int) -> IntArray:
+    """Uniform ``count``-subset of ``[0, population)``; complements when dense."""
+    if count < 0 or count > population:
+        raise InvalidParameterError(
+            f"subset size {count} outside [0, {population}]"
+        )
+    if count <= population // 2:
+        return _sample_distinct(rng, population, count)
+    complement = _sample_distinct(rng, population, population - count)
+    mask = np.ones(population, dtype=bool)
+    mask[complement] = False
+    return np.flatnonzero(mask).astype(np.int64)
+
+
+def _from_linear(n: int, linear: IntArray) -> Adjacency:
+    """Build an :class:`Adjacency` from sorted linear pair indices."""
+    pairs = _decode_pairs(n, linear)
+    # Construct CSR directly: both orientations, counting sort by source.
+    src = np.concatenate([pairs[:, 0], pairs[:, 1]])
+    dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    order = np.lexsort((dst, src))
+    src = src[order]
+    dst = dst[order]
+    counts = np.bincount(src, minlength=n).astype(np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return Adjacency(indptr, dst, validate=False)
+
+
+def gnp(n: int, p: float, seed: SeedLike = None) -> Adjacency:
+    """Sample a Gilbert random graph ``G(n, p)``.
+
+    Every unordered pair is an edge independently with probability ``p``.
+    Runs in ``O(n + m)`` expected time (``m`` the realised edge count).
+
+    Parameters
+    ----------
+    n: number of nodes (``>= 0``).
+    p: edge probability in ``[0, 1]``.
+    seed: RNG seed or generator.
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"p must lie in [0, 1], got {p}")
+    rng = as_generator(seed)
+    total = pair_count(n)
+    if total == 0 or p == 0.0:
+        return Adjacency.empty(n)
+    m = int(rng.binomial(total, p))
+    return _from_linear(n, _sample_subset(rng, total, m))
+
+
+def gnm(n: int, m: int, seed: SeedLike = None) -> Adjacency:
+    """Sample an Erdős–Rényi random graph ``G(n, m)``.
+
+    Uniform over all simple graphs with exactly ``m`` edges.
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be non-negative, got {n}")
+    total = pair_count(n)
+    if not 0 <= m <= total:
+        raise InvalidParameterError(f"m must lie in [0, {total}] for n={n}, got {m}")
+    rng = as_generator(seed)
+    if m == 0:
+        return Adjacency.empty(n)
+    return _from_linear(n, _sample_subset(rng, total, m))
+
+
+def gnp_connected(
+    n: int, p: float, seed: SeedLike = None, *, max_attempts: int = 100
+) -> Adjacency:
+    """Sample ``G(n, p)`` conditioned on connectivity by rejection.
+
+    The paper works in the regime ``p >= delta * ln(n) / n`` where the graph
+    is connected with probability ``1 - o(1/n)``; there rejection almost
+    never re-samples.  Raises :class:`GraphError` after ``max_attempts``
+    failures (a sign ``p`` is below the connectivity threshold).
+    """
+    from .properties import is_connected
+
+    rng = as_generator(seed)
+    for _ in range(max_attempts):
+        g = gnp(n, p, rng)
+        if is_connected(g):
+            return g
+    raise GraphError(
+        f"no connected G({n}, {p:.4g}) sample in {max_attempts} attempts; "
+        f"connectivity threshold is ln(n)/n = {np.log(max(n, 2)) / max(n, 1):.4g}"
+    )

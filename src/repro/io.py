@@ -1,0 +1,158 @@
+"""Persistence: save/load graphs, schedules and experiment results.
+
+Long sweeps are expensive; this module lets a pipeline checkpoint its
+artifacts:
+
+* graphs — NumPy ``.npz`` holding the CSR arrays (compact, exact);
+* schedules — ``.npz`` with per-round sets flattened plus offsets/labels;
+* experiment results — JSON, round-trippable back into
+  :class:`~repro.experiments.runner.ExperimentResult` (fits included).
+
+All loaders validate structure and raise :class:`~repro.errors.ReproError`
+subclasses on malformed input rather than propagating raw KeyErrors.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .errors import GraphError, ReproError, ScheduleError
+from .experiments.runner import ExperimentResult
+from .graphs.adjacency import Adjacency
+from .radio.schedule import Schedule
+from .theory.fitting import FitResult
+
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "save_schedule",
+    "load_schedule",
+    "save_result",
+    "load_result",
+]
+
+
+def save_graph(adj: Adjacency, path: str | Path) -> Path:
+    """Write a graph's CSR arrays to ``path`` (``.npz`` appended if absent)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez_compressed(path, indptr=adj.indptr, indices=adj.indices)
+    return path
+
+
+def load_graph(path: str | Path) -> Adjacency:
+    """Load a graph saved by :func:`save_graph` (structure re-validated)."""
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            indptr = data["indptr"]
+            indices = data["indices"]
+    except (KeyError, OSError, ValueError) as exc:
+        raise GraphError(f"not a saved graph file: {path} ({exc})") from exc
+    return Adjacency(indptr, indices, validate=True)
+
+
+def save_schedule(schedule: Schedule, path: str | Path) -> Path:
+    """Write a schedule (flattened sets + offsets + labels) to ``.npz``."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    offsets = np.zeros(len(schedule) + 1, dtype=np.int64)
+    for i, r in enumerate(schedule.rounds):
+        offsets[i + 1] = offsets[i] + r.size
+    flat = (
+        np.concatenate(schedule.rounds)
+        if len(schedule)
+        else np.empty(0, dtype=np.int64)
+    )
+    labels = np.array(schedule.labels, dtype=object)
+    np.savez_compressed(
+        path,
+        n=np.int64(schedule.n),
+        offsets=offsets,
+        flat=flat,
+        labels=labels,
+    )
+    return path
+
+
+def load_schedule(path: str | Path) -> Schedule:
+    """Load a schedule saved by :func:`save_schedule`."""
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=True) as data:
+            n = int(data["n"])
+            offsets = data["offsets"]
+            flat = data["flat"]
+            labels = [str(x) for x in data["labels"]]
+    except (KeyError, OSError, ValueError) as exc:
+        raise ScheduleError(f"not a saved schedule file: {path} ({exc})") from exc
+    rounds = [flat[offsets[i] : offsets[i + 1]] for i in range(offsets.size - 1)]
+    if len(labels) != len(rounds):
+        raise ScheduleError(f"corrupt schedule file: {path} (label count mismatch)")
+    return Schedule(n, rounds, labels=labels)
+
+
+def save_result(result: ExperimentResult, path: str | Path) -> Path:
+    """Write an experiment result to JSON (``.json`` appended if absent)."""
+    path = Path(path)
+    if path.suffix != ".json":
+        path = path.with_suffix(path.suffix + ".json")
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "claim": result.claim,
+        "columns": result.columns,
+        "rows": result.rows,
+        "notes": result.notes,
+        "fits": {
+            name: {
+                "slope": fit.slope,
+                "intercept": fit.intercept,
+                "r_squared": fit.r_squared,
+                "feature_name": fit.feature_name,
+            }
+            for name, fit in result.fits.items()
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, default=_json_default) + "\n")
+    return path
+
+
+def _json_default(obj):
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON-serialisable: {type(obj)}")
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Load an experiment result saved by :func:`save_result`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+        result = ExperimentResult(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            claim=payload["claim"],
+            columns=list(payload["columns"]),
+            rows=list(payload["rows"]),
+            notes=list(payload.get("notes", [])),
+        )
+        for name, fit in payload.get("fits", {}).items():
+            result.fits[name] = FitResult(
+                slope=fit["slope"],
+                intercept=fit["intercept"],
+                r_squared=fit["r_squared"],
+                feature_name=fit.get("feature_name", "x"),
+            )
+    except (KeyError, TypeError, ValueError, OSError) as exc:
+        raise ReproError(f"not a saved result file: {path} ({exc})") from exc
+    return result

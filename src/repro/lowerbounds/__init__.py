@@ -1,0 +1,32 @@
+"""Empirical lower-bound machinery (Theorems 6 and 8).
+
+The paper's lower bounds are of the form "for any sequence of ``o(·)``
+transmit sets, some node stays uninformed w.h.p.".  Exhaustively
+quantifying over all sequences is infeasible, so these modules provide the
+two kinds of finite-``n`` evidence the bounds admit:
+
+* **survival experiments** (:mod:`~repro.lowerbounds.centralized`) —
+  replay the proof's *relaxed* reception model on random transmit-set
+  sequences drawn from the families the Theorem 6 proof reduces to
+  (size-1/2 sets; sets of size up to ``n/d + 1``) and measure the
+  probability some node survives uninformed;
+* **best-of-family sweeps** (:mod:`~repro.lowerbounds.distributed`) —
+  minimise completion time over a rich parametric family of oblivious
+  protocols (the class Theorem 8 quantifies over) and check the minimum
+  still grows like ``ln n``.
+"""
+
+from .centralized import (
+    relaxed_schedule_survivors,
+    sample_transmit_sets,
+    survival_probability,
+)
+from .distributed import best_oblivious_time, oblivious_candidates
+
+__all__ = [
+    "sample_transmit_sets",
+    "relaxed_schedule_survivors",
+    "survival_probability",
+    "oblivious_candidates",
+    "best_oblivious_time",
+]

@@ -1,0 +1,49 @@
+"""Radio network model: collision semantics, schedules, protocols, simulator.
+
+The model (paper Section 1.1): communication proceeds in synchronous
+rounds; each node either transmits or listens.  A listening node receives a
+message iff **exactly one** of its neighbours transmits in that round —
+two or more transmitting neighbours collide and the listener hears nothing.
+Nodes get no collision detection feedback.
+
+* :class:`~repro.radio.model.RadioNetwork` — the vectorized round kernel.
+* :class:`~repro.radio.schedule.Schedule` — explicit transmit-set
+  schedules produced by centralized algorithms, plus executor/verifier.
+* :class:`~repro.radio.protocol.RadioProtocol` — distributed protocols as
+  per-round transmit-probability rules over local knowledge.
+* :func:`~repro.radio.simulator.simulate_broadcast` — the driver loop.
+"""
+
+from .analysis import (
+    BroadcastTree,
+    broadcast_tree,
+    collision_profile,
+    phase_summary,
+    transmission_efficiency,
+)
+from .model import RadioNetwork, StepResult
+from .protocol import FunctionProtocol, RadioProtocol
+from .schedule import Schedule, execute_schedule, verify_schedule
+from .simulator import broadcast_time, default_round_cap, repeat_broadcast, simulate_broadcast
+from .trace import BroadcastTrace, RoundRecord
+
+__all__ = [
+    "RadioNetwork",
+    "StepResult",
+    "Schedule",
+    "execute_schedule",
+    "verify_schedule",
+    "RadioProtocol",
+    "FunctionProtocol",
+    "simulate_broadcast",
+    "broadcast_time",
+    "repeat_broadcast",
+    "default_round_cap",
+    "BroadcastTrace",
+    "RoundRecord",
+    "BroadcastTree",
+    "broadcast_tree",
+    "collision_profile",
+    "transmission_efficiency",
+    "phase_summary",
+]

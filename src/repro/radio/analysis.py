@@ -1,0 +1,163 @@
+"""Trace analytics: broadcast trees, collision profiles, phase efficiency.
+
+A completed broadcast induces a tree — each node's parent is the
+transmitter it actually heard — which the kernel records in
+:attr:`StepResult.informer` and the drivers thread into
+:attr:`BroadcastTrace.informer`.  Comparing that *realised* tree against
+the BFS structure (is the broadcast depth close to the diameter? how much
+fan-out do the big rounds achieve?) is how the experiments interrogate
+*why* a protocol is fast, not just how fast it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._typing import FloatArray, IntArray
+from ..errors import SimulationError
+from .trace import BroadcastTrace
+
+__all__ = [
+    "BroadcastTree",
+    "broadcast_tree",
+    "collision_profile",
+    "transmission_efficiency",
+    "phase_summary",
+]
+
+
+@dataclass(frozen=True)
+class BroadcastTree:
+    """The who-informed-whom tree of a completed broadcast.
+
+    Attributes
+    ----------
+    source: the root.
+    parent: ``parent[v]`` = informer of ``v`` (``-1`` at the root).
+    depth_of: hop depth of every node within the tree.
+    """
+
+    source: int
+    parent: IntArray
+    depth_of: IntArray
+
+    @property
+    def n(self) -> int:
+        """Number of nodes in the tree."""
+        return self.parent.size
+
+    @property
+    def depth(self) -> int:
+        """Maximum node depth — the realised broadcast radius."""
+        return int(self.depth_of.max())
+
+    def children_counts(self) -> IntArray:
+        """``counts[v]`` = number of nodes that heard the message from ``v``."""
+        counts = np.zeros(self.n, dtype=np.int64)
+        valid = self.parent >= 0
+        if np.any(valid):
+            counts += np.bincount(self.parent[valid], minlength=self.n)
+        return counts
+
+    def branching_histogram(self) -> IntArray:
+        """``hist[k]`` = number of nodes that informed exactly ``k`` others."""
+        return np.bincount(self.children_counts()).astype(np.int64)
+
+    def num_relays(self) -> int:
+        """Nodes that passed the message on to at least one other node."""
+        return int(np.count_nonzero(self.children_counts() > 0))
+
+    def path_to_source(self, v: int) -> IntArray:
+        """Node ids from ``v`` up to the source (inclusive both ends)."""
+        if not 0 <= v < self.n:
+            raise SimulationError(f"node {v} out of range [0, {self.n})")
+        path = [v]
+        while self.parent[path[-1]] >= 0:
+            path.append(int(self.parent[path[-1]]))
+        if path[-1] != self.source:
+            raise SimulationError(f"node {v} is not connected to the source in the tree")
+        return np.array(path, dtype=np.int64)
+
+
+def broadcast_tree(trace: BroadcastTrace) -> BroadcastTree:
+    """Extract the broadcast tree from a completed trace.
+
+    Raises :class:`SimulationError` when the trace is incomplete or was
+    produced without informer tracking.
+    """
+    if trace.informer is None:
+        raise SimulationError("trace has no informer data")
+    if not trace.completed:
+        raise SimulationError("broadcast tree requires a completed trace")
+    parent = trace.informer.copy()
+    n = trace.n
+    # Depths by walking rounds in order: informer is always informed in an
+    # earlier round, so a single pass over nodes sorted by informed_round
+    # fills depths parent-before-child.
+    if trace.informed_round is None:
+        raise SimulationError("trace has no informed_round data")
+    depth = np.full(n, -1, dtype=np.int64)
+    depth[trace.source] = 0
+    order = np.argsort(trace.informed_round, kind="stable")
+    for v in order:
+        v = int(v)
+        if v == trace.source:
+            continue
+        p = int(parent[v])
+        if p < 0 or depth[p] < 0:
+            raise SimulationError(
+                f"inconsistent informer chain at node {v} (parent {p})"
+            )
+        depth[v] = depth[p] + 1
+    return BroadcastTree(source=trace.source, parent=parent, depth_of=depth)
+
+
+def collision_profile(trace: BroadcastTrace) -> FloatArray:
+    """Per-round fraction of transmissions wasted on collisions.
+
+    ``profile[t-1] = collided listeners / max(transmitters, 1)`` for round
+    ``t`` — the channel-contention signature of each protocol phase.
+    """
+    out = np.empty(len(trace.records), dtype=float)
+    for i, rec in enumerate(trace.records):
+        out[i] = rec.num_collided / max(rec.num_transmitters, 1)
+    return out
+
+
+def transmission_efficiency(trace: BroadcastTrace) -> float:
+    """Newly informed nodes per transmission over the whole run.
+
+    Radio's one-to-many gain can push this well above 1 (a single
+    uncontested transmission informs a whole neighbourhood); values below
+    1 mean collisions and redundant re-transmissions dominated.
+    """
+    total_tx = trace.total_transmissions
+    if total_tx == 0:
+        return 0.0
+    return (trace.num_informed - 1) / total_tx
+
+
+def phase_summary(trace: BroadcastTrace) -> dict[str, dict[str, float]]:
+    """Aggregate per-round statistics by phase label.
+
+    Centralized schedules label their rounds (``flood``, ``bigbang``,
+    ``selective``, ``cleanup``); this groups the executed trace by those
+    labels so one can read off where the rounds, transmissions and
+    collisions went.  Unlabelled rounds aggregate under ``""``.
+
+    Returns ``{label: {rounds, new_informed, transmissions, collisions}}``
+    in first-appearance order.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for rec in trace.records:
+        bucket = out.setdefault(
+            rec.label,
+            {"rounds": 0, "new_informed": 0, "transmissions": 0, "collisions": 0},
+        )
+        bucket["rounds"] += 1
+        bucket["new_informed"] += rec.num_new
+        bucket["transmissions"] += rec.num_transmitters
+        bucket["collisions"] += rec.num_collided
+    return out

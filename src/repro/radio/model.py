@@ -1,0 +1,178 @@
+"""The radio round kernel.
+
+One communication step of the paper's model, fully vectorized: given the
+transmitter mask, one sparse matvec counts how many transmissions reach each
+node, a second counts how many of those carry the message (transmitter is
+informed), and boolean algebra classifies every node into received /
+collided / silent.
+
+The kernel is deliberately free of protocol logic — schedules and
+distributed protocols both reduce to a sequence of transmitter masks fed to
+:meth:`RadioNetwork.step`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._typing import BoolArray, IntArray
+from ..errors import GraphError, SimulationError
+from ..graphs.adjacency import Adjacency
+
+__all__ = ["RadioNetwork", "StepResult"]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one radio round.
+
+    Attributes
+    ----------
+    received:
+        Mask of nodes that successfully received the message this round
+        (listening, exactly one transmitting neighbour, and that neighbour
+        informed).  May include nodes that were already informed.
+    newly_informed:
+        Sorted ids of nodes informed for the first time this round.
+    collided:
+        Mask of listening nodes with two or more transmitting neighbours
+        (they hear nothing; no collision detection in this model).
+    num_transmitters:
+        How many nodes transmitted.
+    informer:
+        For every node in ``received``, the id of the unique transmitting
+        neighbour it heard; ``-1`` elsewhere.  This is what broadcast-tree
+        extraction reads.
+    """
+
+    received: BoolArray
+    newly_informed: IntArray
+    collided: BoolArray
+    num_transmitters: int
+    informer: IntArray
+
+    @property
+    def num_new(self) -> int:
+        """Number of nodes informed for the first time this round."""
+        return int(self.newly_informed.size)
+
+    @property
+    def num_collided(self) -> int:
+        """Number of listeners lost to collisions this round."""
+        return int(np.count_nonzero(self.collided))
+
+
+class RadioNetwork:
+    """A radio network over a fixed undirected topology.
+
+    Parameters
+    ----------
+    adj:
+        The connectivity graph.  A message transmitted by ``v`` reaches all
+        neighbours of ``v`` (its *range*), subject to collisions.
+    """
+
+    def __init__(self, adj: Adjacency):
+        if adj.n == 0:
+            raise GraphError("radio network needs at least one node")
+        self.adj = adj
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.adj.n
+
+    def _check_mask(self, mask: np.ndarray, name: str) -> BoolArray:
+        mask = np.asarray(mask)
+        if mask.shape != (self.n,) or mask.dtype != np.bool_:
+            raise SimulationError(
+                f"{name} must be a bool array of shape ({self.n},), "
+                f"got shape {mask.shape} dtype {mask.dtype}"
+            )
+        return mask
+
+    def step(self, transmitting: BoolArray, informed: BoolArray) -> StepResult:
+        """Execute one synchronous round.
+
+        Parameters
+        ----------
+        transmitting:
+            Mask of nodes that transmit this round.  Uninformed
+            transmitters are allowed (the Theorem 6 lower-bound proof
+            reasons about arbitrary transmit sets); they occupy the channel
+            and cause collisions but deliver no message.
+        informed:
+            Mask of nodes currently holding the message.
+
+        Returns
+        -------
+        StepResult
+            Per-round outcome; the caller owns updating its ``informed``
+            state from ``newly_informed``.
+        """
+        transmitting = self._check_mask(transmitting, "transmitting")
+        informed = self._check_mask(informed, "informed")
+        total = self.adj.neighbor_counts(transmitting)
+        carrying = transmitting & informed
+        if np.array_equal(carrying, transmitting):
+            message = total
+        else:
+            message = self.adj.neighbor_counts(carrying)
+        listening = ~transmitting
+        # Reception rule: exactly one transmission arrives AND it carries
+        # the message.  (total == 1 and message == 1 together mean the
+        # unique transmitting neighbour is informed.)
+        received = listening & (total == 1) & (message == 1)
+        newly = np.flatnonzero(received & ~informed).astype(np.int64)
+        collided = listening & (total >= 2)
+        # Informer extraction: sum of (id + 1) over transmitting
+        # neighbours; where exactly one transmission arrived, that sum is
+        # the sender's id + 1.
+        informer = np.full(self.n, -1, dtype=np.int64)
+        if np.any(received):
+            ids = np.where(transmitting, np.arange(self.n, dtype=np.int64) + 1, 0)
+            sums = self.adj.matrix().dot(ids)
+            informer[received] = sums[received] - 1
+        return StepResult(
+            received=received,
+            newly_informed=newly,
+            collided=collided,
+            num_transmitters=int(np.count_nonzero(transmitting)),
+            informer=informer,
+        )
+
+    def step_reference(self, transmitting: BoolArray, informed: BoolArray) -> StepResult:
+        """Pure-Python reference implementation of :meth:`step`.
+
+        Exists only as a differential-testing oracle: property tests check
+        the vectorized kernel against this node-by-node transcription of
+        the model definition.
+        """
+        transmitting = self._check_mask(transmitting, "transmitting")
+        informed = self._check_mask(informed, "informed")
+        n = self.n
+        received = np.zeros(n, dtype=bool)
+        collided = np.zeros(n, dtype=bool)
+        informer = np.full(n, -1, dtype=np.int64)
+        for w in range(n):
+            if transmitting[w]:
+                continue  # not listening
+            senders = [v for v in self.adj.neighbors(w) if transmitting[v]]
+            if len(senders) >= 2:
+                collided[w] = True
+            elif len(senders) == 1 and informed[senders[0]]:
+                received[w] = True
+                informer[w] = senders[0]
+        newly = np.flatnonzero(received & ~informed).astype(np.int64)
+        return StepResult(
+            received=received,
+            newly_informed=newly,
+            collided=collided,
+            num_transmitters=int(np.count_nonzero(transmitting)),
+            informer=informer,
+        )
+
+    def __repr__(self) -> str:
+        return f"RadioNetwork(n={self.n}, m={self.adj.num_edges})"

@@ -1,0 +1,92 @@
+"""Distributed radio protocols as per-round transmit rules.
+
+A :class:`RadioProtocol` decides, each round, which informed nodes
+transmit.  The decision may use only what a node locally knows in the
+paper's distributed model: the global parameters ``n`` and ``p``, the
+round number ``t``, whether the node is informed and since when.  The
+interface is vectorized — one call returns the whole round's mask — but
+implementations must keep each node's entry a function of that node's
+local knowledge only (the simulator cannot check this; tests for each
+concrete protocol do).
+
+The simulator intersects the returned mask with the informed set, so a
+protocol can never make an uninformed node transmit the message.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from .._typing import BoolArray, IntArray
+
+__all__ = ["RadioProtocol", "FunctionProtocol", "bernoulli_mask"]
+
+
+def bernoulli_mask(
+    rng: np.random.Generator, probabilities: np.ndarray | float, n: int
+) -> BoolArray:
+    """Independent per-node coin flips with the given probabilities."""
+    return rng.random(n) < probabilities
+
+
+class RadioProtocol(ABC):
+    """Base class for distributed broadcast protocols.
+
+    Lifecycle: the simulator calls :meth:`prepare` once, then
+    :meth:`transmit_mask` once per round with the current informed state.
+    """
+
+    #: Human-readable protocol name (used in reports).
+    name: str = "protocol"
+
+    def prepare(self, n: int, p: float | None, source: int) -> None:
+        """Reset per-run state.  ``p`` is ``None`` when unknown to nodes."""
+
+    @abstractmethod
+    def transmit_mask(
+        self,
+        t: int,
+        informed: BoolArray,
+        informed_round: IntArray,
+        rng: np.random.Generator,
+    ) -> BoolArray:
+        """Decide who transmits in round ``t`` (1-indexed).
+
+        Parameters
+        ----------
+        t: current round number, starting at 1.
+        informed: current informed mask (read-only by convention).
+        informed_round: round each node was informed (``-1`` if not yet;
+            0 for the source).
+        rng: the run's random stream.
+
+        Returns
+        -------
+        Boolean mask; entries at uninformed nodes are ignored (the
+        simulator masks them out).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class FunctionProtocol(RadioProtocol):
+    """Adapter turning a plain function into a protocol.
+
+    The function receives ``(t, informed, informed_round, rng)`` and
+    returns the transmit mask.  Handy for tests and one-off experiments.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[int, BoolArray, IntArray, np.random.Generator], BoolArray],
+        name: str = "function",
+    ):
+        self._fn = fn
+        self.name = name
+
+    def transmit_mask(self, t, informed, informed_round, rng):
+        return self._fn(t, informed, informed_round, rng)

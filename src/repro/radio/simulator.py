@@ -1,0 +1,194 @@
+"""Broadcast simulation driver.
+
+:func:`simulate_broadcast` runs a distributed protocol round by round until
+every node is informed or a round budget is exhausted.  The budget guards
+against protocols that stall (e.g. badly tuned transmit probabilities) —
+exceeding it raises :class:`~repro.errors.BroadcastIncompleteError` carrying
+the partial trace.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._typing import IntArray, SeedLike
+from ..errors import BroadcastIncompleteError, DisconnectedGraphError
+from ..graphs.bfs import bfs_distances
+from ..rng import as_generator, spawn_generators
+from .model import RadioNetwork
+from .protocol import RadioProtocol
+from .trace import BroadcastTrace, RoundRecord
+
+__all__ = [
+    "default_round_cap",
+    "simulate_broadcast",
+    "broadcast_time",
+    "repeat_broadcast",
+]
+
+
+def default_round_cap(n: int) -> int:
+    """Generous default round budget for ``O(ln n)``-class protocols.
+
+    ``200 + 60 * log2(n)`` — an order of magnitude above the constants any
+    of the implemented protocols exhibit, so hitting it signals a stall
+    rather than bad luck.
+    """
+    return 200 + 60 * max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def simulate_broadcast(
+    network: RadioNetwork,
+    protocol: RadioProtocol,
+    source: int = 0,
+    *,
+    p: float | None = None,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    check_connected: bool = True,
+) -> BroadcastTrace:
+    """Run ``protocol`` on ``network`` until broadcast completes.
+
+    Parameters
+    ----------
+    network: the radio network.
+    protocol: a distributed protocol; only informed nodes ever transmit
+        (the simulator intersects the protocol's mask with the informed
+        set).
+    source: the node initially holding the message.
+    p: the edge-probability parameter nodes are assumed to know (passed
+        to :meth:`RadioProtocol.prepare`); ``None`` if unknown.
+    seed: RNG seed or generator for the protocol's coin flips.
+    max_rounds: round budget; defaults to :func:`default_round_cap`.
+    check_connected: verify reachability up front and raise
+        :class:`DisconnectedGraphError` instead of burning the budget.
+
+    Returns
+    -------
+    BroadcastTrace with ``completed == True``.
+
+    Raises
+    ------
+    BroadcastIncompleteError
+        If the budget is exhausted first (partial trace attached).
+    """
+    n = network.n
+    if not 0 <= source < n:
+        raise DisconnectedGraphError(f"source {source} out of range [0, {n})")
+    if check_connected and np.any(bfs_distances(network.adj, source) < 0):
+        raise DisconnectedGraphError(
+            f"not all nodes reachable from source {source}; broadcast cannot complete"
+        )
+    if max_rounds is None:
+        max_rounds = default_round_cap(n)
+    rng = as_generator(seed)
+    protocol.prepare(n, p, source)
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    informed_round = np.full(n, -1, dtype=np.int64)
+    informed_round[source] = 0
+    informer = np.full(n, -1, dtype=np.int64)
+    trace = BroadcastTrace(source=source, n=n)
+    for t in range(1, max_rounds + 1):
+        if bool(np.all(informed)):
+            break
+        mask = protocol.transmit_mask(t, informed, informed_round, rng)
+        mask = np.asarray(mask, dtype=bool) & informed
+        result = network.step(mask, informed)
+        informed[result.newly_informed] = True
+        informed_round[result.newly_informed] = t
+        informer[result.newly_informed] = result.informer[result.newly_informed]
+        trace.records.append(
+            RoundRecord(
+                round_index=t,
+                num_transmitters=result.num_transmitters,
+                num_new=result.num_new,
+                num_collided=result.num_collided,
+                informed_after=int(np.count_nonzero(informed)),
+            )
+        )
+        if bool(np.all(informed)):
+            break
+    trace.informed = informed
+    trace.informed_round = informed_round
+    trace.informer = informer
+    if not trace.completed:
+        raise BroadcastIncompleteError(
+            f"{protocol.name}: {trace.num_informed}/{n} nodes informed "
+            f"after {max_rounds} rounds",
+            trace=trace,
+        )
+    return trace
+
+
+def broadcast_time(
+    network: RadioNetwork,
+    protocol: RadioProtocol,
+    source: int = 0,
+    **kwargs,
+) -> int:
+    """Rounds until completion (see :func:`simulate_broadcast`)."""
+    return simulate_broadcast(network, protocol, source, **kwargs).completion_round
+
+
+def _repeat_worker(args) -> int:
+    """Top-level worker for process-parallel repetitions (must pickle)."""
+    network, protocol, source, p, child_seed, max_rounds = args
+    return broadcast_time(
+        network,
+        protocol,
+        source,
+        p=p,
+        seed=np.random.default_rng(child_seed),
+        max_rounds=max_rounds,
+    )
+
+
+def repeat_broadcast(
+    network: RadioNetwork,
+    protocol: RadioProtocol,
+    *,
+    repetitions: int,
+    source: int = 0,
+    p: float | None = None,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    n_jobs: int = 1,
+) -> IntArray:
+    """Broadcast times over ``repetitions`` independent runs.
+
+    Each run gets an independent child RNG stream derived from ``seed``,
+    so results are identical whatever ``n_jobs`` is; ``n_jobs > 1`` runs
+    the repetitions in a process pool (each worker re-derives its own
+    stream — useful for the long full-mode sweeps).
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    from ..rng import spawn_seeds
+
+    child_seeds = spawn_seeds(seed, repetitions)
+    if n_jobs == 1:
+        times = np.empty(repetitions, dtype=np.int64)
+        for i, child in enumerate(child_seeds):
+            times[i] = broadcast_time(
+                network,
+                protocol,
+                source,
+                p=p,
+                seed=np.random.default_rng(child),
+                max_rounds=max_rounds,
+            )
+        return times
+    from concurrent.futures import ProcessPoolExecutor
+
+    args = [
+        (network, protocol, source, p, child, max_rounds)
+        for child in child_seeds
+    ]
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        times = list(pool.map(_repeat_worker, args))
+    return np.array(times, dtype=np.int64)

@@ -1,0 +1,131 @@
+"""Broadcast execution traces.
+
+A :class:`BroadcastTrace` records one broadcast run round by round: who
+transmitted, how many nodes were newly informed, how many listeners were
+lost to collisions.  Experiments read aggregate quantities
+(:attr:`~BroadcastTrace.completion_round`, :meth:`informed_curve`);
+tests read the per-round records to check protocol invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._typing import BoolArray, IntArray
+
+__all__ = ["RoundRecord", "BroadcastTrace"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Statistics of a single round (1-indexed to match the paper)."""
+
+    round_index: int
+    num_transmitters: int
+    num_new: int
+    num_collided: int
+    informed_after: int
+    label: str = ""
+
+
+@dataclass
+class BroadcastTrace:
+    """Full record of one broadcast execution.
+
+    Attributes
+    ----------
+    source: the originating node.
+    n: network size.
+    records: per-round statistics in order.
+    informed: final informed mask.
+    informed_round: per-node round at which the node was informed
+        (0 for the source, ``-1`` if never informed).
+    informer: per-node id of the neighbour whose transmission informed it
+        (``-1`` for the source and never-informed nodes) — the broadcast
+        tree, analysed by :mod:`repro.radio.analysis`.
+    """
+
+    source: int
+    n: int
+    records: list[RoundRecord] = field(default_factory=list)
+    informed: BoolArray | None = None
+    informed_round: IntArray | None = None
+    informer: IntArray | None = None
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds executed (whether or not the broadcast completed)."""
+        return len(self.records)
+
+    @property
+    def num_informed(self) -> int:
+        """Nodes holding the message at the end of the run."""
+        if self.informed is None:
+            return 0
+        return int(np.count_nonzero(self.informed))
+
+    @property
+    def completed(self) -> bool:
+        """True iff every node was informed."""
+        return self.num_informed == self.n
+
+    @property
+    def completion_round(self) -> int:
+        """First round after which all nodes were informed.
+
+        Raises :class:`ValueError` when the broadcast did not complete.
+        """
+        if not self.completed:
+            raise ValueError("broadcast did not complete; no completion round")
+        if self.informed_round is None:
+            raise ValueError("trace has no informed_round data")
+        return int(self.informed_round.max())
+
+    @property
+    def total_transmissions(self) -> int:
+        """Sum of transmitter counts over all rounds (energy proxy)."""
+        return sum(r.num_transmitters for r in self.records)
+
+    @property
+    def total_collisions(self) -> int:
+        """Sum of collided-listener counts over all rounds."""
+        return sum(r.num_collided for r in self.records)
+
+    def informed_curve(self) -> IntArray:
+        """``curve[t]`` = number of informed nodes after round ``t``.
+
+        ``curve[0]`` is the initial state (just the source).
+        """
+        counts = [1]
+        counts.extend(r.informed_after for r in self.records)
+        return np.array(counts, dtype=np.int64)
+
+    def rounds_to_fraction(self, fraction: float) -> int:
+        """First round after which at least ``fraction * n`` nodes know.
+
+        Raises :class:`ValueError` if the fraction was never reached.
+        """
+        target = fraction * self.n
+        curve = self.informed_curve()
+        hits = np.flatnonzero(curve >= target)
+        if hits.size == 0:
+            raise ValueError(f"never informed {fraction:.0%} of the network")
+        return int(hits[0])
+
+    def summary(self) -> dict:
+        """Headline numbers for reports."""
+        return {
+            "source": self.source,
+            "n": self.n,
+            "rounds": self.num_rounds,
+            "completed": self.completed,
+            "informed": self.num_informed,
+            "transmissions": self.total_transmissions,
+            "collisions": self.total_collisions,
+        }
+
+    def __repr__(self) -> str:
+        status = "complete" if self.completed else f"{self.num_informed}/{self.n}"
+        return f"BroadcastTrace(source={self.source}, rounds={self.num_rounds}, {status})"

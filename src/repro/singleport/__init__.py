@@ -1,0 +1,13 @@
+"""Single-port (telephone-model) rumor spreading — the related-work substrate.
+
+The paper's Section 1.2 contrasts radio broadcasting with the single-port
+model of Feige, Peleg, Raghavan and Upfal: each round every informed node
+sends the rumor to **one** uniformly random neighbour over a private link —
+no collisions, but also no one-to-many gain.  Experiment E11 uses this to
+separate the two models on identical graphs.
+"""
+
+from .agents import agent_broadcast
+from .push import push_broadcast, push_pull_broadcast
+
+__all__ = ["push_broadcast", "push_pull_broadcast", "agent_broadcast"]

@@ -1,0 +1,121 @@
+"""Agent-based broadcasting — the paper's reference [13] model.
+
+Section 1.2: "the results of Feige et al. have been extended to the
+so-called agent-based model by showing that broadcasting in this model
+can also be performed within ``O(max{log n, D})`` rounds in random graphs
+and bounded degree graphs."
+
+Model: ``k`` agents perform independent simple random walks on the graph
+(one hop per round).  An agent visiting a node that holds the rumor picks
+it up; a rumor-carrying agent informs every node it visits.  No radio
+channel, no collisions — the communication resource is agent mobility.
+
+Experiment E23 measures the two regimes the bound names: on `G(n, p)`
+(small D) time is ``Θ(log n)``-flavoured once there are enough agents,
+while too few agents leave a cover-time-dominated tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import IntArray, SeedLike
+from ..errors import (
+    BroadcastIncompleteError,
+    DisconnectedGraphError,
+    InvalidParameterError,
+)
+from ..graphs.adjacency import Adjacency
+from ..graphs.bfs import bfs_distances
+from ..radio.trace import BroadcastTrace, RoundRecord
+from ..rng import as_generator
+
+__all__ = ["agent_broadcast"]
+
+
+def agent_broadcast(
+    adj: Adjacency,
+    num_agents: int,
+    source: int = 0,
+    *,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    agents_start_at_source: bool = False,
+) -> BroadcastTrace:
+    """Broadcast via random-walking agents (the agent-based model).
+
+    Parameters
+    ----------
+    adj: the graph (agents walk its edges).
+    num_agents: number of walking agents ``k``.
+    source: the node initially holding the rumor.
+    agents_start_at_source: start all agents on the source (the
+        "informed couriers" variant); default scatters them uniformly.
+
+    Returns
+    -------
+    BroadcastTrace — ``num_transmitters`` records the number of
+    rumor-carrying agents per round; collisions are always 0 (the model
+    has no shared channel).
+
+    Raises
+    ------
+    BroadcastIncompleteError on budget exhaustion.
+    """
+    n = adj.n
+    if num_agents < 1:
+        raise InvalidParameterError(f"need at least one agent, got {num_agents}")
+    if not 0 <= source < n:
+        raise DisconnectedGraphError(f"source {source} out of range [0, {n})")
+    if np.any(bfs_distances(adj, source) < 0):
+        raise DisconnectedGraphError(
+            f"not all nodes reachable from source {source}"
+        )
+    if n >= 2 and adj.min_degree == 0:
+        raise DisconnectedGraphError("graph has isolated nodes; walks cannot reach them")
+    rng = as_generator(seed)
+    if max_rounds is None:
+        # Cover-time flavoured budget: generous multiple of n log n / k.
+        logn = max(1.0, np.log(max(n, 2)))
+        max_rounds = int(200 + 40 * n * logn / num_agents)
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    informed_round = np.full(n, -1, dtype=np.int64)
+    informed_round[source] = 0
+    if agents_start_at_source:
+        positions = np.full(num_agents, source, dtype=np.int64)
+    else:
+        positions = rng.integers(0, n, size=num_agents).astype(np.int64)
+    carrying = informed[positions].copy()
+    trace = BroadcastTrace(source=source, n=n)
+    indptr, indices = adj.indptr, adj.indices
+    for t in range(1, max_rounds + 1):
+        if bool(np.all(informed)):
+            break
+        # One uniform-random-neighbour hop per agent (vectorized).
+        degs = indptr[positions + 1] - indptr[positions]
+        offsets = (rng.random(num_agents) * degs).astype(np.int64)
+        positions = indices[indptr[positions] + offsets]
+        # Exchange at the new position: pick up, then drop off.
+        carrying |= informed[positions]
+        newly = np.unique(positions[carrying & ~informed[positions]])
+        informed[newly] = True
+        informed_round[newly] = t
+        trace.records.append(
+            RoundRecord(
+                round_index=t,
+                num_transmitters=int(np.count_nonzero(carrying)),
+                num_new=int(newly.size),
+                num_collided=0,
+                informed_after=int(np.count_nonzero(informed)),
+            )
+        )
+    trace.informed = informed
+    trace.informed_round = informed_round
+    if not trace.completed:
+        raise BroadcastIncompleteError(
+            f"agent-based: {trace.num_informed}/{n} informed after "
+            f"{max_rounds} rounds with {num_agents} agents",
+            trace=trace,
+        )
+    return trace

@@ -1,0 +1,129 @@
+"""Push and push–pull rumor spreading in the single-port model.
+
+Model (Feige et al., cited in the paper's Section 1.2): synchronous rounds;
+every informed node picks one neighbour uniformly at random and sends it
+the rumor over a point-to-point link.  Deliveries never collide.  On
+``G(n, p)`` above the connectivity threshold, push completes in
+``log₂ n + ln n + o(log n)`` rounds w.h.p.
+
+The traces reuse :class:`~repro.radio.trace.BroadcastTrace`; the
+``num_collided`` field is always 0 here (the model has no collisions), and
+``num_transmitters`` counts the senders of the round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import SeedLike
+from ..errors import BroadcastIncompleteError, DisconnectedGraphError
+from ..graphs.adjacency import Adjacency
+from ..graphs.bfs import bfs_distances
+from ..radio.trace import BroadcastTrace, RoundRecord
+from ..rng import as_generator
+
+__all__ = ["push_broadcast", "push_pull_broadcast"]
+
+
+def _random_neighbor_choice(
+    adj: Adjacency, nodes: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """One uniformly random neighbour per node of ``nodes`` (vectorized).
+
+    Returns ``(choices, callers)`` aligned element-wise; nodes of degree
+    zero are dropped from both.
+    """
+    degs = adj.indptr[nodes + 1] - adj.indptr[nodes]
+    keep = degs > 0
+    nodes, degs = nodes[keep], degs[keep]
+    if nodes.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    offsets = (rng.random(nodes.size) * degs).astype(np.int64)
+    return adj.indices[adj.indptr[nodes] + offsets], nodes
+
+
+def _run(
+    adj: Adjacency,
+    source: int,
+    rng: np.random.Generator,
+    max_rounds: int,
+    pull: bool,
+    name: str,
+) -> BroadcastTrace:
+    n = adj.n
+    if not 0 <= source < n:
+        raise DisconnectedGraphError(f"source {source} out of range [0, {n})")
+    if np.any(bfs_distances(adj, source) < 0):
+        raise DisconnectedGraphError(
+            f"not all nodes reachable from source {source}; rumor cannot spread everywhere"
+        )
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+    informed_round = np.full(n, -1, dtype=np.int64)
+    informed_round[source] = 0
+    trace = BroadcastTrace(source=source, n=n)
+    for t in range(1, max_rounds + 1):
+        if bool(np.all(informed)):
+            break
+        senders = np.flatnonzero(informed).astype(np.int64)
+        targets, _ = _random_neighbor_choice(adj, senders, rng)
+        new = np.unique(targets[~informed[targets]]) if targets.size else targets
+        if pull:
+            listeners = np.flatnonzero(~informed).astype(np.int64)
+            called, callers = _random_neighbor_choice(adj, listeners, rng)
+            pulled = callers[informed[called]] if called.size else called
+            new = np.union1d(new, pulled)
+        informed[new] = True
+        informed_round[new] = t
+        trace.records.append(
+            RoundRecord(
+                round_index=t,
+                num_transmitters=int(senders.size),
+                num_new=int(new.size),
+                num_collided=0,
+                informed_after=int(np.count_nonzero(informed)),
+            )
+        )
+        if bool(np.all(informed)):
+            break
+    trace.informed = informed
+    trace.informed_round = informed_round
+    if not trace.completed:
+        raise BroadcastIncompleteError(
+            f"{name}: {trace.num_informed}/{n} informed after {max_rounds} rounds",
+            trace=trace,
+        )
+    return trace
+
+
+def push_broadcast(
+    adj: Adjacency,
+    source: int = 0,
+    *,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+) -> BroadcastTrace:
+    """Push rumor spreading: every knower calls one random neighbour."""
+    rng = as_generator(seed)
+    if max_rounds is None:
+        max_rounds = 100 + 20 * int(np.ceil(np.log2(max(adj.n, 2))))
+    return _run(adj, source, rng, max_rounds, pull=False, name="push")
+
+
+def push_pull_broadcast(
+    adj: Adjacency,
+    source: int = 0,
+    *,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+) -> BroadcastTrace:
+    """Push–pull: knowers push and non-knowers simultaneously pull.
+
+    Pull side: each uninformed node calls one random neighbour and learns
+    the rumor if that neighbour knows it.
+    """
+    rng = as_generator(seed)
+    if max_rounds is None:
+        max_rounds = 100 + 20 * int(np.ceil(np.log2(max(adj.n, 2))))
+    return _run(adj, source, rng, max_rounds, pull=True, name="push-pull")

@@ -1,0 +1,62 @@
+"""Closed-form predictions and statistical tooling for the experiments.
+
+* :mod:`~repro.theory.bounds` — every complexity expression the paper
+  states, as plain functions of ``(n, p)``.
+* :mod:`~repro.theory.concentration` — the Chernoff machinery of the
+  paper's Eq. (1), used by tests to derive principled tolerances.
+* :mod:`~repro.theory.fitting` — least-squares scaling-law fits that turn
+  "grows like ``a·ln n + b``" claims into measurable slopes and ``R²``.
+"""
+
+from .bounds import (
+    centralized_bound,
+    connectivity_threshold,
+    dense_bound,
+    diameter_estimate,
+    distributed_bound,
+    expected_degree,
+    optimal_centralized_degree,
+)
+from .concentration import (
+    binomial_tail_upper,
+    chernoff_upper,
+    degree_bounds,
+)
+from .fitting import FitResult, compare_models, fit_feature, linear_fit
+from .spectra import (
+    algebraic_connectivity,
+    cheeger_bounds,
+    estimate_mixing_time,
+    spectral_gap,
+)
+from .stats import (
+    ThresholdFit,
+    bootstrap_ci,
+    estimate_threshold,
+    quantile_summary,
+)
+
+__all__ = [
+    "expected_degree",
+    "diameter_estimate",
+    "centralized_bound",
+    "distributed_bound",
+    "dense_bound",
+    "connectivity_threshold",
+    "optimal_centralized_degree",
+    "chernoff_upper",
+    "binomial_tail_upper",
+    "degree_bounds",
+    "FitResult",
+    "linear_fit",
+    "fit_feature",
+    "compare_models",
+    "bootstrap_ci",
+    "quantile_summary",
+    "estimate_threshold",
+    "ThresholdFit",
+    "spectral_gap",
+    "algebraic_connectivity",
+    "cheeger_bounds",
+    "estimate_mixing_time",
+]

@@ -1,0 +1,91 @@
+"""The paper's complexity expressions as plain functions.
+
+All bounds are stated up to constants; these functions return the *leading
+expression* (constant 1) so experiments can fit the constant empirically
+and tests can check shape, not absolute values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "expected_degree",
+    "diameter_estimate",
+    "centralized_bound",
+    "distributed_bound",
+    "dense_bound",
+    "connectivity_threshold",
+    "optimal_centralized_degree",
+]
+
+
+def _check_np(n: int, p: float) -> None:
+    if n < 2:
+        raise InvalidParameterError(f"need n >= 2, got {n}")
+    if not 0.0 < p <= 1.0:
+        raise InvalidParameterError(f"p must lie in (0, 1], got {p}")
+
+
+def expected_degree(n: int, p: float) -> float:
+    """``d = p n``, the expected average degree of ``G(n, p)``."""
+    _check_np(n, p)
+    return p * n
+
+
+def connectivity_threshold(n: int) -> float:
+    """``ln n / n`` — ``G(n, p)`` is connected w.h.p. above this."""
+    if n < 2:
+        raise InvalidParameterError(f"need n >= 2, got {n}")
+    return math.log(n) / n
+
+
+def diameter_estimate(n: int, p: float) -> float:
+    """``ln n / ln d`` — the diameter of ``G(n, p)`` up to ``1 + o(1)``."""
+    d = expected_degree(n, p)
+    if d <= 1.0:
+        raise InvalidParameterError(
+            f"expected degree d = {d:.3g} must exceed 1 for the diameter estimate"
+        )
+    return math.log(n) / math.log(d)
+
+
+def centralized_bound(n: int, p: float) -> float:
+    """Theorem 5/6 leading term: ``ln n / ln d + ln d`` (tight, w.h.p.)."""
+    d = expected_degree(n, p)
+    if d <= 1.0:
+        raise InvalidParameterError(f"expected degree d = {d:.3g} must exceed 1")
+    return math.log(n) / math.log(d) + math.log(d)
+
+
+def distributed_bound(n: int, p: float | None = None) -> float:
+    """Theorem 7/8 leading term: ``ln n`` (tight, w.h.p.)."""
+    if n < 2:
+        raise InvalidParameterError(f"need n >= 2, got {n}")
+    return math.log(n)
+
+
+def dense_bound(n: int, f: float) -> float:
+    """Dense-regime leading term for ``p = 1 - f``: ``ln n / ln(1/f)``.
+
+    Stated at the end of Section 3.1 for ``f(n) ∈ [1/n, 1/2]``.
+    """
+    if n < 2:
+        raise InvalidParameterError(f"need n >= 2, got {n}")
+    if not 0.0 < f <= 0.5:
+        raise InvalidParameterError(f"f must lie in (0, 1/2], got {f}")
+    return math.log(n) / math.log(1.0 / f)
+
+
+def optimal_centralized_degree(n: int) -> float:
+    """The degree minimising ``ln n / ln d + ln d``: ``d* = exp(sqrt(ln n))``.
+
+    Below ``d*`` the diameter term dominates the centralized bound, above
+    it the ``ln d`` cover term does — the crossover experiment E2 locates
+    this minimum empirically.
+    """
+    if n < 2:
+        raise InvalidParameterError(f"need n >= 2, got {n}")
+    return math.exp(math.sqrt(math.log(n)))

@@ -1,0 +1,88 @@
+"""Chernoff/binomial concentration helpers (the paper's Eq. (1)).
+
+Paper, Section 2, Eq. (1)::
+
+    Pr[ sum X_k >= (1 + rho) mu ]  <=  ( e^rho / (1 + rho)^(1 + rho) )^mu
+
+Tests use these to set principled tolerances: e.g. "all degrees lie in
+``[alpha d, beta d]``" is asserted with ``alpha, beta`` chosen so the
+Chernoff failure probability is below the test's error budget, instead of
+hand-tuned magic margins.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidParameterError
+
+__all__ = ["chernoff_upper", "chernoff_lower", "binomial_tail_upper", "degree_bounds"]
+
+
+def chernoff_upper(mu: float, rho: float) -> float:
+    """Eq. (1): ``Pr[X >= (1+rho) mu]`` bound for sums of 0/1 variables."""
+    if mu < 0:
+        raise InvalidParameterError(f"mu must be non-negative, got {mu}")
+    if rho <= 0:
+        raise InvalidParameterError(f"rho must be positive, got {rho}")
+    if mu == 0:
+        return 1.0
+    log_bound = mu * (rho - (1.0 + rho) * math.log1p(rho))
+    return math.exp(min(0.0, log_bound))
+
+
+def chernoff_lower(mu: float, rho: float) -> float:
+    """``Pr[X <= (1-rho) mu] <= exp(-mu rho² / 2)`` (standard companion)."""
+    if mu < 0:
+        raise InvalidParameterError(f"mu must be non-negative, got {mu}")
+    if not 0.0 < rho < 1.0:
+        raise InvalidParameterError(f"rho must lie in (0, 1), got {rho}")
+    return math.exp(-mu * rho * rho / 2.0)
+
+
+def binomial_tail_upper(trials: int, prob: float, threshold: int) -> float:
+    """``Pr[Bin(trials, prob) >= threshold]`` via Eq. (1).
+
+    Returns 1.0 when the threshold is at or below the mean (the bound is
+    vacuous there).
+    """
+    if trials < 0:
+        raise InvalidParameterError(f"trials must be non-negative, got {trials}")
+    if not 0.0 <= prob <= 1.0:
+        raise InvalidParameterError(f"prob must lie in [0, 1], got {prob}")
+    mu = trials * prob
+    if threshold <= mu or mu == 0:
+        return 1.0
+    rho = threshold / mu - 1.0
+    return chernoff_upper(mu, rho)
+
+
+def degree_bounds(n: int, p: float, failure: float = 1e-6) -> tuple[float, float]:
+    """``(lo, hi)`` such that a single ``G(n, p)`` degree lies in the
+    interval except with probability ``<= failure``.
+
+    Inverts the Chernoff bounds numerically (bisection on ``rho``).  The
+    per-node degree is ``Bin(n-1, p)`` with mean ``mu = (n-1) p``; a union
+    bound over all ``n`` nodes costs the caller a factor ``n`` on
+    ``failure``.
+    """
+    if n < 2:
+        raise InvalidParameterError(f"need n >= 2, got {n}")
+    if not 0.0 < p <= 1.0:
+        raise InvalidParameterError(f"p must lie in (0, 1], got {p}")
+    if not 0.0 < failure < 1.0:
+        raise InvalidParameterError(f"failure must lie in (0, 1), got {failure}")
+    mu = (n - 1) * p
+
+    def solve(bound_fn, lo_rho, hi_rho):
+        for _ in range(80):
+            mid = 0.5 * (lo_rho + hi_rho)
+            if bound_fn(mid) > failure:
+                lo_rho = mid
+            else:
+                hi_rho = mid
+        return hi_rho
+
+    rho_hi = solve(lambda r: chernoff_upper(mu, r), 1e-9, 64.0)
+    rho_lo = solve(lambda r: chernoff_lower(mu, r), 1e-9, 1.0 - 1e-12)
+    return max(0.0, mu * (1.0 - rho_lo)), mu * (1.0 + rho_hi)

@@ -1,0 +1,109 @@
+"""Scaling-law fitting: turn asymptotic claims into measurable slopes.
+
+The experiments measure broadcast times at a ladder of sizes and ask
+"does ``T(n)`` grow like ``a · ln n + b``?"  :func:`fit_feature` performs
+the least-squares fit against an arbitrary feature transform of ``n`` and
+reports slope, intercept and ``R²``; :func:`compare_models` ranks several
+candidate features so a table can state *which* growth law explains the
+data best (e.g. ``ln n`` beating ``sqrt(n)`` and ``ln² n`` for Theorem 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = ["FitResult", "linear_fit", "fit_feature", "compare_models", "STANDARD_MODELS"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a one-feature least-squares fit ``y ≈ slope·f(x) + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    feature_name: str = "x"
+
+    def predict(self, feature_values: np.ndarray) -> np.ndarray:
+        """Fitted values at the given (already transformed) feature values."""
+        return self.slope * np.asarray(feature_values, dtype=float) + self.intercept
+
+    def __str__(self) -> str:
+        return (
+            f"y = {self.slope:.3g} * {self.feature_name} + {self.intercept:.3g} "
+            f"(R² = {self.r_squared:.4f})"
+        )
+
+
+def linear_fit(x: np.ndarray, y: np.ndarray, feature_name: str = "x") -> FitResult:
+    """Ordinary least squares for ``y ≈ a x + b``.
+
+    Requires at least two distinct ``x`` values.  ``R²`` is 1.0 for a
+    perfect fit and can be negative only in the degenerate constant-``y``
+    case, where it is defined as 1.0 when residuals vanish and 0.0
+    otherwise.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise InvalidParameterError(f"x and y must be equal-length 1-D arrays, got {x.shape}, {y.shape}")
+    if x.size < 2:
+        raise InvalidParameterError(f"need at least 2 points, got {x.size}")
+    if np.ptp(x) == 0:
+        raise InvalidParameterError("x values are all identical; slope is undefined")
+    slope, intercept = np.polyfit(x, y, 1)
+    resid = y - (slope * x + intercept)
+    ss_res = float(np.sum(resid**2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0.0:
+        # Constant y: a perfect fit up to float noise counts as R² = 1.
+        r2 = 1.0 if ss_res <= 1e-12 * max(1.0, float(np.sum(y**2))) else 0.0
+    else:
+        r2 = 1.0 - ss_res / ss_tot
+    return FitResult(float(slope), float(intercept), r2, feature_name)
+
+
+def fit_feature(
+    x: np.ndarray,
+    y: np.ndarray,
+    feature: Callable[[np.ndarray], np.ndarray],
+    feature_name: str,
+) -> FitResult:
+    """Least squares of ``y`` against a transformed regressor ``feature(x)``."""
+    return linear_fit(feature(np.asarray(x, dtype=float)), np.asarray(y, dtype=float), feature_name)
+
+
+#: Growth laws the experiments routinely discriminate between.
+STANDARD_MODELS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "ln n": lambda n: np.log(n),
+    "ln^2 n": lambda n: np.log(n) ** 2,
+    "sqrt(n)": lambda n: np.sqrt(n),
+    "n": lambda n: np.asarray(n, dtype=float),
+    "ln ln n": lambda n: np.log(np.log(n)),
+}
+
+
+def compare_models(
+    x: np.ndarray,
+    y: np.ndarray,
+    models: Mapping[str, Callable[[np.ndarray], np.ndarray]] | None = None,
+) -> tuple[str, dict[str, FitResult]]:
+    """Fit every candidate growth law and rank by ``R²``.
+
+    Returns ``(best_name, {name: FitResult})``.  Ties go to the earlier
+    entry in the mapping's iteration order.
+    """
+    if models is None:
+        models = STANDARD_MODELS
+    if not models:
+        raise InvalidParameterError("models mapping must be non-empty")
+    results = {
+        name: fit_feature(x, y, fn, name) for name, fn in models.items()
+    }
+    best = max(results, key=lambda k: results[k].r_squared)
+    return best, results

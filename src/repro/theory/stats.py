@@ -1,0 +1,127 @@
+"""Statistics for 'w.h.p.' claims: bootstrap CIs, quantiles, thresholds.
+
+The paper's statements hold "with probability 1 − o(1/n)"; at finite ``n``
+the experiments see distributions.  This module provides the three tools
+they need:
+
+* :func:`bootstrap_ci` — nonparametric confidence interval for a sample
+  statistic (mean completion time, ratio of means, ...);
+* :func:`quantile_summary` — the tail behaviour a w.h.p. claim is really
+  about (P95/P99 tracking the mean means concentration);
+* :func:`estimate_threshold` — logistic fit of a 0/1 outcome against a
+  control parameter, locating sharp thresholds like E3's survival
+  collapse at ``c* = 1/ln 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .._typing import SeedLike
+from ..errors import InvalidParameterError
+from ..rng import as_generator
+
+__all__ = [
+    "bootstrap_ci",
+    "quantile_summary",
+    "ThresholdFit",
+    "estimate_threshold",
+]
+
+
+def bootstrap_ci(
+    sample: np.ndarray,
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: SeedLike = None,
+) -> tuple[float, float, float]:
+    """Percentile-bootstrap confidence interval for ``statistic(sample)``.
+
+    Returns ``(point_estimate, lo, hi)``.
+    """
+    sample = np.asarray(sample, dtype=float)
+    if sample.size < 2:
+        raise InvalidParameterError(f"need at least 2 observations, got {sample.size}")
+    if not 0.0 < confidence < 1.0:
+        raise InvalidParameterError(f"confidence must lie in (0, 1), got {confidence}")
+    if resamples < 10:
+        raise InvalidParameterError(f"resamples must be >= 10, got {resamples}")
+    rng = as_generator(seed)
+    idx = rng.integers(0, sample.size, size=(resamples, sample.size))
+    stats = np.apply_along_axis(statistic, 1, sample[idx])
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(stats, [alpha, 1.0 - alpha])
+    return float(statistic(sample)), float(lo), float(hi)
+
+
+def quantile_summary(sample: np.ndarray) -> dict[str, float]:
+    """Median / P90 / P95 / P99 / max — the tail a w.h.p. claim lives in."""
+    sample = np.asarray(sample, dtype=float)
+    if sample.size == 0:
+        raise InvalidParameterError("cannot summarise an empty sample")
+    q = np.quantile(sample, [0.5, 0.9, 0.95, 0.99])
+    return {
+        "median": float(q[0]),
+        "p90": float(q[1]),
+        "p95": float(q[2]),
+        "p99": float(q[3]),
+        "max": float(sample.max()),
+    }
+
+
+@dataclass(frozen=True)
+class ThresholdFit:
+    """Logistic fit ``P[outcome] = sigmoid(-steepness * (x - location))``.
+
+    ``location`` is the estimated threshold (where the probability crosses
+    1/2); ``steepness > 0`` means the outcome probability *falls* with x.
+    """
+
+    location: float
+    steepness: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Fitted outcome probability at ``x``."""
+        z = -self.steepness * (np.asarray(x, dtype=float) - self.location)
+        return 1.0 / (1.0 + np.exp(-z))
+
+    def __str__(self) -> str:
+        return f"threshold at x = {self.location:.3f} (steepness {self.steepness:.2f})"
+
+
+def estimate_threshold(
+    x: np.ndarray,
+    probability: np.ndarray,
+    *,
+    grid: int = 400,
+) -> ThresholdFit:
+    """Fit a falling logistic to (control value, success probability) pairs.
+
+    A coarse-to-fine grid search minimising squared error — robust for the
+    handful of points the survival experiments produce, with no SciPy
+    optimizer state to tune.
+    """
+    x = np.asarray(x, dtype=float)
+    probability = np.asarray(probability, dtype=float)
+    if x.shape != probability.shape or x.ndim != 1:
+        raise InvalidParameterError("x and probability must be equal-length 1-D arrays")
+    if x.size < 3:
+        raise InvalidParameterError(f"need at least 3 points, got {x.size}")
+    if np.any((probability < 0) | (probability > 1)):
+        raise InvalidParameterError("probabilities must lie in [0, 1]")
+    locs = np.linspace(x.min(), x.max(), grid)
+    steeps = np.geomspace(0.1, 50.0, 60)
+    best = (np.inf, locs[0], steeps[0])
+    for s in steeps:
+        z = -s * (x[None, :] - locs[:, None])
+        pred = 1.0 / (1.0 + np.exp(-z))
+        err = np.sum((pred - probability[None, :]) ** 2, axis=1)
+        k = int(np.argmin(err))
+        if err[k] < best[0]:
+            best = (float(err[k]), float(locs[k]), float(s))
+    return ThresholdFit(location=best[1], steepness=best[2])

@@ -1,0 +1,227 @@
+"""Unit tests for the centralized schedulers (Theorem 5 + baselines)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.broadcast.centralized import (
+    ElsasserGasieniecScheduler,
+    GreedyCoverScheduler,
+    RoundRobinScheduler,
+    SequentialLayerScheduler,
+)
+from repro.broadcast.centralized.base import ScheduleBuilder
+from repro.errors import DisconnectedGraphError, InvalidParameterError, ScheduleError
+from repro.graphs import (
+    Adjacency,
+    balanced_tree,
+    cycle_graph,
+    gnp_connected,
+    hypercube,
+    path_graph,
+    star_graph,
+)
+from repro.radio import RadioNetwork, verify_schedule
+from repro.theory.bounds import centralized_bound
+
+ALL_SCHEDULERS = [
+    lambda: ElsasserGasieniecScheduler(seed=0),
+    lambda: GreedyCoverScheduler(seed=0),
+    lambda: SequentialLayerScheduler(),
+    lambda: RoundRobinScheduler(),
+]
+
+SMALL_GRAPHS = [
+    ("path", lambda: path_graph(9)),
+    ("star", lambda: star_graph(12)),
+    ("cycle-even", lambda: cycle_graph(8)),
+    ("cycle-odd", lambda: cycle_graph(9)),
+    ("tree", lambda: balanced_tree(3, 3)),
+    ("hypercube", lambda: hypercube(5)),
+    ("gnp", lambda: gnp_connected(80, 0.12, seed=2)),
+    ("single-edge", lambda: path_graph(2)),
+]
+
+
+class TestScheduleBuilder:
+    def test_tracks_informed(self, path5):
+        b = ScheduleBuilder(path5, 0)
+        assert b.num_informed == 1
+        gained = b.add_round(np.array([0]))
+        assert gained == 1
+        assert b.informed[1]
+        assert not b.done
+
+    def test_rejects_uninformed_transmitter(self, path5):
+        b = ScheduleBuilder(path5, 0)
+        with pytest.raises(ScheduleError, match="scheduler bug"):
+            b.add_round(np.array([4]))
+
+    def test_source_validation(self, path5):
+        with pytest.raises(ScheduleError):
+            ScheduleBuilder(path5, 10)
+
+    def test_node_sets(self, path5):
+        b = ScheduleBuilder(path5, 2)
+        assert list(b.informed_nodes()) == [2]
+        assert list(b.uninformed_nodes()) == [0, 1, 3, 4]
+
+
+@pytest.mark.parametrize("name,graph_fn", SMALL_GRAPHS)
+@pytest.mark.parametrize("scheduler_fn", ALL_SCHEDULERS)
+class TestCorrectnessMatrix:
+    """Every scheduler must produce a verified schedule on every topology."""
+
+    def test_schedule_completes(self, name, graph_fn, scheduler_fn):
+        g = graph_fn()
+        scheduler = scheduler_fn()
+        schedule = scheduler.build(g, 0)
+        assert verify_schedule(RadioNetwork(g), schedule, 0), (
+            f"{scheduler.name} failed on {name}"
+        )
+
+    def test_schedule_from_nonzero_source(self, name, graph_fn, scheduler_fn):
+        g = graph_fn()
+        source = g.n - 1
+        schedule = scheduler_fn().build(g, source)
+        assert verify_schedule(RadioNetwork(g), schedule, source)
+
+
+class TestDisconnectedRejection:
+    @pytest.mark.parametrize("scheduler_fn", ALL_SCHEDULERS)
+    def test_raises(self, scheduler_fn):
+        g = Adjacency.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            scheduler_fn().build(g, 0)
+
+
+class TestElsasserGasieniec:
+    def test_phase_labels_present(self):
+        g = gnp_connected(300, 16 / 300, seed=5)
+        schedule = ElsasserGasieniecScheduler(seed=0).build(g, 0)
+        phases = schedule.phase_lengths()
+        assert "flood" in phases
+        assert "selective" in phases or "cleanup" in phases
+
+    def test_length_tracks_bound(self):
+        # Schedule length within a small constant multiple of the bound.
+        n, d = 800, 16.0
+        g = gnp_connected(n, d / n, seed=6)
+        schedule = ElsasserGasieniecScheduler(seed=1).build(g, 0)
+        bound = centralized_bound(n, d / n)
+        assert len(schedule) < 6 * bound
+
+    def test_selective_sets_disjoint(self):
+        g = gnp_connected(400, 16 / 400, seed=7)
+        schedule = ElsasserGasieniecScheduler(seed=2).build(g, 0)
+        used = set()
+        for nodes, label in zip(schedule.rounds, schedule.labels):
+            if label == "selective":
+                as_set = set(int(v) for v in nodes)
+                assert not (as_set & used), "selective sets must be disjoint"
+                used |= as_set
+
+    def test_ablation_no_parity(self):
+        g = gnp_connected(200, 14 / 200, seed=8)
+        schedule = ElsasserGasieniecScheduler(seed=0, use_parity=False).build(g, 0)
+        assert verify_schedule(RadioNetwork(g), schedule, 0)
+
+    def test_ablation_singleton_cleanup(self):
+        g = gnp_connected(150, 12 / 150, seed=9)
+        sched_singleton = ElsasserGasieniecScheduler(seed=0, cleanup="singleton").build(g, 0)
+        assert verify_schedule(RadioNetwork(g), sched_singleton, 0)
+
+    def test_ablation_reused_fractions(self):
+        g = gnp_connected(200, 14 / 200, seed=10)
+        schedule = ElsasserGasieniecScheduler(seed=0, fresh_fractions=False).build(g, 0)
+        assert verify_schedule(RadioNetwork(g), schedule, 0)
+
+    def test_param_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ElsasserGasieniecScheduler(selective_constant=-1)
+        with pytest.raises(InvalidParameterError):
+            ElsasserGasieniecScheduler(selectivity=0)
+        with pytest.raises(InvalidParameterError):
+            ElsasserGasieniecScheduler(big_layer_fraction=0)
+        with pytest.raises(InvalidParameterError):
+            ElsasserGasieniecScheduler(cleanup="bogus")
+
+    def test_deterministic_given_seed(self):
+        g = gnp_connected(200, 14 / 200, seed=11)
+        a = ElsasserGasieniecScheduler(seed=3).build(g, 0)
+        b = ElsasserGasieniecScheduler(seed=3).build(g, 0)
+        assert len(a) == len(b)
+        assert all(np.array_equal(x, y) for x, y in zip(a.rounds, b.rounds))
+
+    def test_cleanup_cap_raises(self):
+        # Even cycle: the antipodal node survives flooding (two always-
+        # colliding parents) and *requires* a cleanup round; a zero cap
+        # must fail loudly, not silently emit an incomplete schedule.
+        g = cycle_graph(8)
+        with pytest.raises(ScheduleError, match="cleanup"):
+            ElsasserGasieniecScheduler(seed=0, max_cleanup_rounds=0).build(g, 0)
+
+
+class TestGreedyCover:
+    def test_short_on_random_graph(self):
+        n, d = 500, 16.0
+        g = gnp_connected(n, d / n, seed=12)
+        schedule = GreedyCoverScheduler(seed=0).build(g, 0)
+        assert len(schedule) < 4 * centralized_bound(n, d / n)
+
+    def test_round_cap(self):
+        g = path_graph(30)
+        with pytest.raises(ScheduleError, match="exceeded"):
+            GreedyCoverScheduler(seed=0, max_rounds=3).build(g, 0)
+
+
+class TestSequentialLayer:
+    def test_every_round_single_transmitter(self):
+        g = gnp_connected(100, 0.12, seed=13)
+        schedule = SequentialLayerScheduler().build(g, 0)
+        assert schedule.max_set_size == 1
+
+    def test_collision_free(self):
+        # Single transmitter per round means zero collisions at uninformed
+        # listeners... collisions never occur at all.
+        from repro.radio import execute_schedule
+
+        g = gnp_connected(100, 0.12, seed=14)
+        schedule = SequentialLayerScheduler().build(g, 0)
+        trace = execute_schedule(RadioNetwork(g), schedule, 0, stop_when_complete=False)
+        assert trace.total_collisions == 0
+
+    def test_length_scales_with_cover_sizes(self):
+        # On G(n,p) the big layer needs ~n/d transmitters: much longer
+        # than the EG schedule.
+        n, d = 600, 16.0
+        g = gnp_connected(n, d / n, seed=15)
+        seq = SequentialLayerScheduler().build(g, 0)
+        eg = ElsasserGasieniecScheduler(seed=0).build(g, 0)
+        assert len(seq) > 2 * len(eg)
+
+
+class TestRoundRobin:
+    def test_length_at_most_n_times_depth(self):
+        g = gnp_connected(60, 0.15, seed=16)
+        schedule = RoundRobinScheduler().build(g, 0)
+        from repro.graphs import diameter
+
+        assert len(schedule) <= g.n * (diameter(g) + 1)
+
+    def test_path_best_case_source_zero(self):
+        # From source 0 the id order matches the frontier: one new node
+        # per round, n - 1 rounds total.
+        g = path_graph(12)
+        schedule = RoundRobinScheduler().build(g, 0)
+        assert len(schedule) == 11
+        assert verify_schedule(RadioNetwork(g), schedule, 0)
+
+    def test_path_worst_case_source_end(self):
+        # From source n-1 the sweep order opposes the frontier: roughly a
+        # full n-round sweep per newly informed node, Θ(n²) total.
+        g = path_graph(12)
+        schedule = RoundRobinScheduler().build(g, 11)
+        assert len(schedule) > 100
+        assert verify_schedule(RadioNetwork(g), schedule, 11)

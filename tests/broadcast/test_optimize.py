@@ -1,0 +1,71 @@
+"""Unit tests for schedule local-search optimization."""
+
+import numpy as np
+import pytest
+
+from repro.broadcast.centralized import (
+    ElsasserGasieniecScheduler,
+    SequentialLayerScheduler,
+    optimize_schedule,
+)
+from repro.errors import ScheduleError
+from repro.graphs import gnp_connected, path_graph, star_graph
+from repro.radio import RadioNetwork, Schedule, verify_schedule
+
+
+class TestOptimizeSchedule:
+    def test_result_still_completes(self):
+        g = gnp_connected(200, 0.1, seed=30)
+        schedule = ElsasserGasieniecScheduler(seed=0).build(g, 0)
+        report = optimize_schedule(g, schedule, 0)
+        assert verify_schedule(RadioNetwork(g), report.schedule, 0)
+
+    def test_never_longer(self):
+        g = gnp_connected(200, 0.1, seed=31)
+        schedule = ElsasserGasieniecScheduler(seed=0).build(g, 0)
+        report = optimize_schedule(g, schedule, 0)
+        assert report.final_rounds <= report.initial_rounds
+        assert report.saved_rounds == report.initial_rounds - report.final_rounds
+
+    def test_drops_padding_rounds(self):
+        # A schedule with obviously redundant rounds gets shortened.
+        g = star_graph(12)
+        padded = Schedule(12, [[0], [0], [1], [2], [0]])
+        report = optimize_schedule(g, padded, 0)
+        assert report.final_rounds == 1
+        assert report.drops >= 1
+
+    def test_merges_sequential_rounds(self):
+        # Sequential per-layer schedules transmit one node per round;
+        # many of those singleton rounds can be merged or dropped.
+        g = gnp_connected(150, 0.12, seed=32)
+        seq = SequentialLayerScheduler().build(g, 0)
+        report = optimize_schedule(g, seq, 0, max_passes=4)
+        assert report.final_rounds < len(seq)
+        assert verify_schedule(RadioNetwork(g), report.schedule, 0)
+
+    def test_minimal_schedule_unchanged(self):
+        g = star_graph(8)
+        minimal = Schedule(8, [[0]])
+        report = optimize_schedule(g, minimal, 0)
+        assert report.final_rounds == 1
+        assert report.saved_rounds == 0
+
+    def test_incomplete_input_rejected(self):
+        g = path_graph(6)
+        incomplete = Schedule(6, [[0]])
+        with pytest.raises(ScheduleError, match="does not complete"):
+            optimize_schedule(g, incomplete, 0)
+
+    def test_report_repr(self):
+        g = star_graph(6)
+        report = optimize_schedule(g, Schedule(6, [[0], [1]]), 0)
+        assert "rounds" in repr(report)
+
+    def test_eg_schedule_near_local_optimum(self):
+        # The phase-structured schedule shouldn't leave huge slack: local
+        # search trims it by at most ~half.
+        g = gnp_connected(300, 16 / 300, seed=33)
+        schedule = ElsasserGasieniecScheduler(seed=1).build(g, 0)
+        report = optimize_schedule(g, schedule, 0)
+        assert report.final_rounds >= len(schedule) // 2

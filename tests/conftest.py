@@ -1,0 +1,68 @@
+"""Shared fixtures: canonical small graphs and seeded RNGs.
+
+All stochastic tests derive their streams from fixed seeds so the suite is
+deterministic; tolerance choices reference the paper's Chernoff machinery
+(see repro.theory.concentration) rather than hand-tuned margins where the
+assertion is probabilistic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Adjacency,
+    complete_graph,
+    cycle_graph,
+    gnp_connected,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle():
+    """K3: the smallest graph where every pair collides at the third node."""
+    return Adjacency.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path5():
+    """Path 0-1-2-3-4."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def star10():
+    """Star with hub 0 and 9 leaves — maximal collision pressure."""
+    return star_graph(10)
+
+
+@pytest.fixture
+def cycle6():
+    """Even cycle: the antipodal node's two parents always collide."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def k5():
+    return complete_graph(5)
+
+
+@pytest.fixture(scope="session")
+def gnp_medium():
+    """One connected G(400, 0.04) shared across the session (read-only)."""
+    return gnp_connected(400, 0.04, seed=777)
+
+
+@pytest.fixture(scope="session")
+def gnp_small():
+    """One connected G(120, 0.1) shared across the session (read-only)."""
+    return gnp_connected(120, 0.1, seed=778)

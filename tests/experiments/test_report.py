@@ -1,0 +1,107 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.experiments.report import format_markdown_table, format_table, format_value
+
+
+class TestFormatValue:
+    def test_none_blank(self):
+        assert format_value(None) == ""
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_integral_float(self):
+        assert format_value(3.0) == "3"
+
+    def test_rounded_float(self):
+        assert format_value(3.14159, float_digits=3) == "3.14"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+
+class TestFormatTable:
+    ROWS = [{"n": 10, "t": 1.5}, {"n": 100, "t": 2.25}]
+
+    def test_contains_all_cells(self):
+        out = format_table(self.ROWS, ["n", "t"])
+        assert "10" in out and "100" in out and "1.5" in out and "2.25" in out
+
+    def test_title(self):
+        out = format_table(self.ROWS, ["n", "t"], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_alignment_consistent(self):
+        out = format_table(self.ROWS, ["n", "t"])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all rows same width
+
+    def test_missing_column_blank(self):
+        out = format_table([{"a": 1}], ["a", "b"])
+        assert "1" in out
+
+    def test_empty_rows(self):
+        out = format_table([], ["a", "b"])
+        assert "a" in out and "b" in out
+
+    def test_empty_columns_raises(self):
+        with pytest.raises(ValueError):
+            format_table(self.ROWS, [])
+
+
+class TestMarkdown:
+    def test_structure(self):
+        out = format_markdown_table([{"a": 1, "b": 2}], ["a", "b"])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_empty_columns_raises(self):
+        with pytest.raises(ValueError):
+            format_markdown_table([], [])
+
+
+class TestSparkline:
+    def test_basic_rendering(self):
+        from repro.experiments.report import format_sparkline
+
+        out = format_sparkline([0, 1, 2, 3])
+        assert len(out) == 4
+        assert out[0] == "▁"
+        assert out[-1] == "█"
+
+    def test_downsampling(self):
+        from repro.experiments.report import format_sparkline
+
+        out = format_sparkline(list(range(500)), width=50)
+        assert len(out) == 50
+
+    def test_constant_series_flat(self):
+        from repro.experiments.report import format_sparkline
+
+        assert format_sparkline([7, 7, 7]) == "▁▁▁"
+
+    def test_monotone_input_monotone_output(self):
+        from repro.experiments.report import _SPARK_CHARS, format_sparkline
+
+        out = format_sparkline([1, 4, 9, 16, 25])
+        levels = [_SPARK_CHARS.index(c) for c in out]
+        assert levels == sorted(levels)
+
+    def test_empty_raises(self):
+        import pytest
+
+        from repro.experiments.report import format_sparkline
+
+        with pytest.raises(ValueError):
+            format_sparkline([])

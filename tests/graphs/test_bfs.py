@@ -1,0 +1,105 @@
+"""Unit tests for vectorized BFS."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Adjacency, gnp, hypercube, path_graph
+from repro.graphs.bfs import bfs_distances, bfs_layers_list, bfs_tree, gather_neighbors
+
+
+class TestGatherNeighbors:
+    def test_simple(self, path5):
+        targets, sources = gather_neighbors(path5, np.array([1, 3]))
+        assert sorted(zip(sources, targets)) == [(1, 0), (1, 2), (3, 2), (3, 4)]
+
+    def test_keeps_multiplicity(self, triangle):
+        targets, _ = gather_neighbors(triangle, np.array([0, 1]))
+        # Node 2 is a neighbour of both 0 and 1 and must appear twice.
+        assert int(np.sum(targets == 2)) == 2
+
+    def test_empty_input(self, path5):
+        targets, sources = gather_neighbors(path5, np.array([], dtype=np.int64))
+        assert targets.size == 0 and sources.size == 0
+
+    def test_isolated_node(self):
+        g = Adjacency.empty(3)
+        targets, sources = gather_neighbors(g, np.array([0, 1, 2]))
+        assert targets.size == 0
+
+
+class TestDistances:
+    def test_path(self, path5):
+        assert list(bfs_distances(path5, 0)) == [0, 1, 2, 3, 4]
+        assert list(bfs_distances(path5, 2)) == [2, 1, 0, 1, 2]
+
+    def test_unreachable(self):
+        g = Adjacency.from_edges(4, [(0, 1), (2, 3)])
+        dist = bfs_distances(g, 0)
+        assert dist[1] == 1 and dist[2] == -1 and dist[3] == -1
+
+    def test_source_out_of_range(self, path5):
+        with pytest.raises(GraphError):
+            bfs_distances(path5, 5)
+        with pytest.raises(GraphError):
+            bfs_distances(path5, -1)
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = gnp(80, 0.06, seed=4)
+        dist = bfs_distances(g, 0)
+        ref = nx.single_source_shortest_path_length(g.to_networkx(), 0)
+        for v in range(80):
+            assert dist[v] == ref.get(v, -1)
+
+    def test_hypercube_distance_is_hamming(self):
+        g = hypercube(5)
+        dist = bfs_distances(g, 0)
+        for v in range(32):
+            assert dist[v] == bin(v).count("1")
+
+
+class TestTree:
+    def test_parents_are_one_layer_up(self, gnp_small):
+        dist, parent = bfs_tree(gnp_small, 0)
+        for v in range(gnp_small.n):
+            if v == 0:
+                assert parent[v] == -1
+            else:
+                assert dist[parent[v]] == dist[v] - 1
+                assert gnp_small.has_edge(int(parent[v]), v)
+
+    def test_parent_is_lowest_id(self, triangle):
+        # Both 1 and 2 are informed from 0; their parent must be 0.
+        dist, parent = bfs_tree(triangle, 0)
+        assert parent[1] == 0 and parent[2] == 0
+
+    def test_dist_matches_bfs_distances(self, gnp_small):
+        dist_a = bfs_distances(gnp_small, 3)
+        dist_b, _ = bfs_tree(gnp_small, 3)
+        assert np.array_equal(dist_a, dist_b)
+
+    def test_unreachable_parent(self):
+        g = Adjacency.from_edges(3, [(0, 1)])
+        _, parent = bfs_tree(g, 0)
+        assert parent[2] == -1
+
+    def test_source_out_of_range(self, path5):
+        with pytest.raises(GraphError):
+            bfs_tree(path5, 99)
+
+
+class TestLayersList:
+    def test_path_layers(self, path5):
+        layers = bfs_layers_list(path5, 0)
+        assert [list(l) for l in layers] == [[0], [1], [2], [3], [4]]
+
+    def test_partition(self, gnp_small):
+        layers = bfs_layers_list(gnp_small, 0)
+        all_nodes = np.concatenate(layers)
+        assert np.array_equal(np.sort(all_nodes), np.arange(gnp_small.n))
+
+    def test_single_node(self):
+        g = Adjacency.empty(1)
+        layers = bfs_layers_list(g, 0)
+        assert len(layers) == 1 and list(layers[0]) == [0]

@@ -1,0 +1,233 @@
+"""Unit tests for coverings and independent matchings (Def. 1, Prop. 2, Lemma 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, InvalidParameterError
+from repro.graphs import (
+    Adjacency,
+    gnp_connected,
+    star_graph,
+)
+from repro.graphs.covering import (
+    cover_counts,
+    greedy_independent_cover,
+    greedy_independent_matching,
+    independent_matching_from_covering,
+    is_covering,
+    is_independent_covering,
+    is_independent_matching,
+    is_minimal_covering,
+    minimal_covering,
+    random_fraction_cover,
+)
+
+
+@pytest.fixture
+def bipartite_ladder():
+    """X = {0,1,2}, Y = {3,4,5}; x_i adjacent to y_i and y_{i+1}."""
+    edges = [(0, 3), (0, 4), (1, 4), (1, 5), (2, 5)]
+    return Adjacency.from_edges(6, edges)
+
+
+class TestCoverCounts:
+    def test_counts(self, bipartite_ladder):
+        counts = cover_counts(bipartite_ladder, [0, 1], [3, 4, 5])
+        assert list(counts) == [1, 2, 1]
+
+    def test_out_of_range_raises(self, bipartite_ladder):
+        with pytest.raises(GraphError):
+            cover_counts(bipartite_ladder, [99], [3])
+
+
+class TestPredicates:
+    def test_is_covering(self, bipartite_ladder):
+        assert is_covering(bipartite_ladder, [0, 1], [3, 4, 5])
+        assert not is_covering(bipartite_ladder, [0], [3, 4, 5])
+        assert is_covering(bipartite_ladder, [], [])  # empty targets
+
+    def test_is_independent_covering(self, bipartite_ladder):
+        assert is_independent_covering(bipartite_ladder, [0, 2], [3, 4, 5])
+        assert not is_independent_covering(bipartite_ladder, [0, 1], [3, 4, 5])
+
+    def test_is_minimal_covering(self, bipartite_ladder):
+        assert is_minimal_covering(bipartite_ladder, [0, 1], [3, 4, 5])
+        assert not is_minimal_covering(bipartite_ladder, [0, 1, 2], [3, 4, 5])
+        assert not is_minimal_covering(bipartite_ladder, [0], [3, 4, 5])
+
+    def test_star_hub_is_minimal(self, star10):
+        leaves = np.arange(1, 10)
+        assert is_minimal_covering(star10, [0], leaves)
+        assert is_independent_covering(star10, [0], leaves)
+
+
+class TestMinimalCovering:
+    def test_covers_and_is_minimal(self, bipartite_ladder):
+        cov = minimal_covering(bipartite_ladder, [0, 1, 2], [3, 4, 5])
+        assert is_covering(bipartite_ladder, cov, [3, 4, 5])
+        assert is_minimal_covering(bipartite_ladder, cov, [3, 4, 5])
+
+    def test_empty_targets(self, bipartite_ladder):
+        assert minimal_covering(bipartite_ladder, [0, 1], []).size == 0
+
+    def test_no_cover_raises(self, bipartite_ladder):
+        with pytest.raises(GraphError, match="no covering"):
+            minimal_covering(bipartite_ladder, [2], [3])
+
+    def test_empty_candidates_raises(self, bipartite_ladder):
+        with pytest.raises(GraphError, match="no covering"):
+            minimal_covering(bipartite_ladder, [], [3])
+
+    def test_on_random_graph(self, gnp_small):
+        from repro.graphs.bfs import bfs_layers_list
+
+        layers = bfs_layers_list(gnp_small, 0)
+        cov = minimal_covering(gnp_small, layers[1], layers[2])
+        assert is_minimal_covering(gnp_small, cov, layers[2])
+
+    def test_greedy_is_reasonably_small(self, star10):
+        cov = minimal_covering(star10, np.arange(10), np.arange(1, 10))
+        # The hub alone covers all leaves; greedy must find the size-1 cover.
+        assert list(cov) == [0]
+
+
+class TestProposition2:
+    def test_matching_from_minimal_cover(self, bipartite_ladder):
+        Y = np.array([3, 4, 5])
+        cov = minimal_covering(bipartite_ladder, [0, 1, 2], Y)
+        pairs = independent_matching_from_covering(bipartite_ladder, cov, Y)
+        assert pairs.shape[0] == cov.size
+        assert is_independent_matching(bipartite_ladder, pairs)
+
+    def test_matching_size_equals_cover_size_random(self, gnp_small):
+        from repro.graphs.bfs import bfs_layers_list
+
+        layers = bfs_layers_list(gnp_small, 0)
+        cov = minimal_covering(gnp_small, layers[1], layers[2])
+        pairs = independent_matching_from_covering(gnp_small, cov, layers[2])
+        assert pairs.shape[0] == cov.size
+        assert is_independent_matching(gnp_small, pairs)
+
+    def test_non_minimal_cover_raises(self, bipartite_ladder):
+        # {0, 1, 2} covers but is not minimal: node 1's targets are all
+        # privately covered by others, so 1 has no private target.
+        with pytest.raises(GraphError, match="not minimal"):
+            independent_matching_from_covering(
+                bipartite_ladder, np.array([0, 1, 2]), np.array([3, 4, 5])
+            )
+
+
+class TestIsIndependentMatching:
+    def test_empty(self, bipartite_ladder):
+        assert is_independent_matching(bipartite_ladder, np.empty((0, 2)))
+
+    def test_non_edge_pair_rejected(self, bipartite_ladder):
+        assert not is_independent_matching(bipartite_ladder, np.array([[0, 5]]))
+
+    def test_shared_endpoint_rejected(self, bipartite_ladder):
+        pairs = np.array([[0, 3], [0, 4]])
+        assert not is_independent_matching(bipartite_ladder, pairs)
+
+    def test_cross_edge_rejected(self, bipartite_ladder):
+        # (0,3) and (1,4) — but 0-4 is an edge, violating independence.
+        pairs = np.array([[0, 3], [1, 4]])
+        assert not is_independent_matching(bipartite_ladder, pairs)
+
+    def test_valid_matching(self, bipartite_ladder):
+        pairs = np.array([[0, 3], [2, 5]])
+        assert is_independent_matching(bipartite_ladder, pairs)
+
+
+class TestGreedyIndependentCover:
+    def test_informed_have_exactly_one_neighbor(self, gnp_small, rng):
+        n = gnp_small.n
+        targets = np.arange(n // 2, n)
+        cands = np.arange(0, n // 2)
+        cover, informed = greedy_independent_cover(gnp_small, cands, targets, seed=rng)
+        counts = cover_counts(gnp_small, cover, informed)
+        assert np.all(counts == 1)
+
+    def test_informs_constant_fraction_on_gnp(self):
+        g = gnp_connected(600, 16 / 600, seed=17)
+        half = np.arange(300)
+        rest = np.arange(300, 600)
+        _, informed = greedy_independent_cover(g, half, rest, seed=3)
+        # Lemma 4: an independent covering of Omega(|Y|) exists; greedy
+        # should find at least a 25% fraction comfortably.
+        assert informed.size >= 0.25 * rest.size
+
+    def test_empty_targets(self, gnp_small):
+        cover, informed = greedy_independent_cover(gnp_small, [0, 1], [])
+        assert cover.size == 0 and informed.size == 0
+
+    def test_unreachable_targets(self):
+        g = Adjacency.from_edges(4, [(0, 1), (2, 3)])
+        cover, informed = greedy_independent_cover(g, [0], [2, 3])
+        assert cover.size == 0 and informed.size == 0
+
+    def test_singleton_fallback(self):
+        # Star: hub is the only candidate; gain=9 loss=0 -> chosen.
+        g = star_graph(10)
+        cover, informed = greedy_independent_cover(g, [0], np.arange(1, 10))
+        assert list(cover) == [0]
+        assert informed.size == 9
+
+    def test_progress_guaranteed(self, cycle6):
+        # From {0}, targets {1,...,5}: greedy must inform at least one.
+        cover, informed = greedy_independent_cover(cycle6, [0], [1, 2, 3, 4, 5])
+        assert informed.size >= 1
+
+
+class TestGreedyIndependentMatching:
+    def test_result_is_independent_matching(self, gnp_small, rng):
+        left = np.arange(gnp_small.n // 2)
+        right = np.arange(gnp_small.n // 2, gnp_small.n)
+        pairs = greedy_independent_matching(gnp_small, left, right, seed=rng)
+        assert is_independent_matching(gnp_small, pairs)
+        assert pairs.shape[0] > 0
+
+    def test_respects_sides(self, gnp_small, rng):
+        left = np.arange(50)
+        right = np.arange(50, 100)
+        pairs = greedy_independent_matching(gnp_small, left, right, seed=rng)
+        if pairs.size:
+            assert np.all(np.isin(pairs[:, 0], left))
+            assert np.all(np.isin(pairs[:, 1], right))
+
+    def test_lemma4_full_matching_when_x_large(self):
+        # |X| / |Y| >> d^2 -> matching of all of Y (Lemma 4 part 2).
+        n, d = 1200, 8.0
+        g = gnp_connected(n, d / n, seed=23)
+        Y = np.arange(10)
+        X = np.arange(10, n)
+        pairs = greedy_independent_matching(g, X, Y, seed=5)
+        assert pairs.shape[0] == Y.size
+
+    def test_empty_sides(self, gnp_small):
+        assert greedy_independent_matching(gnp_small, [], [1, 2]).shape == (0, 2)
+        assert greedy_independent_matching(gnp_small, [1, 2], []).shape == (0, 2)
+
+
+class TestRandomFractionCover:
+    def test_expected_size(self, gnp_medium, rng):
+        pool = np.arange(gnp_medium.n)
+        picked = random_fraction_cover(gnp_medium, pool, 0.25, seed=rng)
+        # Bin(400, 0.25): mean 100, std ~8.6; 5 sigma.
+        assert abs(picked.size - 100) < 45
+
+    def test_exclude(self, gnp_small, rng):
+        pool = np.arange(100)
+        excl = np.arange(50)
+        picked = random_fraction_cover(gnp_small, pool, 1.0, seed=rng, exclude=excl)
+        assert np.all(picked >= 50)
+
+    def test_fraction_bounds(self, gnp_small):
+        with pytest.raises(InvalidParameterError):
+            random_fraction_cover(gnp_small, [0], 1.5)
+        with pytest.raises(InvalidParameterError):
+            random_fraction_cover(gnp_small, [0], -0.1)
+
+    def test_fraction_zero_and_one(self, gnp_small, rng):
+        pool = np.arange(30)
+        assert random_fraction_cover(gnp_small, pool, 0.0, seed=rng).size == 0
+        assert random_fraction_cover(gnp_small, pool, 1.0, seed=rng).size == 30

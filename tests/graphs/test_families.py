@@ -1,0 +1,180 @@
+"""Unit tests for the deterministic graph families."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs import (
+    balanced_tree,
+    complete_graph,
+    cycle_graph,
+    diameter,
+    grid_2d,
+    hypercube,
+    is_connected,
+    path_graph,
+    random_regular,
+    star_graph,
+    torus_2d,
+)
+
+
+class TestComplete:
+    def test_structure(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert g.min_degree == g.max_degree == 5
+        g.validate()
+
+    def test_small_sizes(self):
+        assert complete_graph(0).n == 0
+        assert complete_graph(1).num_edges == 0
+        assert complete_graph(2).num_edges == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            complete_graph(-1)
+
+
+class TestPathCycle:
+    def test_path_structure(self):
+        g = path_graph(6)
+        assert g.num_edges == 5
+        assert g.degree(0) == 1
+        assert g.degree(3) == 2
+        assert diameter(g) == 5
+
+    def test_path_trivial(self):
+        assert path_graph(1).num_edges == 0
+        assert path_graph(0).n == 0
+
+    def test_cycle_structure(self):
+        g = cycle_graph(7)
+        assert g.num_edges == 7
+        assert np.all(g.degrees == 2)
+        assert diameter(g) == 3
+
+    def test_cycle_rejects_small(self):
+        with pytest.raises(InvalidParameterError):
+            cycle_graph(2)
+
+
+class TestStar:
+    def test_structure(self):
+        g = star_graph(8)
+        assert g.num_edges == 7
+        assert g.degree(0) == 7
+        assert diameter(g) == 2
+
+    def test_single(self):
+        assert star_graph(1).num_edges == 0
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            star_graph(0)
+
+
+class TestGridTorus:
+    def test_grid_counts(self):
+        g = grid_2d(3, 4)
+        assert g.n == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_corner_degree(self):
+        g = grid_2d(3, 3)
+        assert g.degree(0) == 2  # corner
+        assert g.degree(4) == 4  # center
+
+    def test_grid_diameter(self):
+        assert diameter(grid_2d(4, 5)) == 3 + 4
+
+    def test_torus_regular(self):
+        g = torus_2d(4, 5)
+        assert np.all(g.degrees == 4)
+        assert is_connected(g)
+
+    def test_torus_small_dims_no_multiedge(self):
+        g = torus_2d(2, 3)
+        g.validate()  # wrap edges on a length-2 axis must not duplicate
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(InvalidParameterError):
+            grid_2d(0, 3)
+        with pytest.raises(InvalidParameterError):
+            torus_2d(3, 0)
+
+
+class TestHypercube:
+    def test_structure(self):
+        g = hypercube(4)
+        assert g.n == 16
+        assert np.all(g.degrees == 4)
+        assert g.num_edges == 16 * 4 // 2
+
+    def test_adjacency_is_xor(self):
+        g = hypercube(3)
+        for v in range(8):
+            nbrs = set(int(x) for x in g.neighbors(v))
+            assert nbrs == {v ^ 1, v ^ 2, v ^ 4}
+
+    def test_diameter_is_dimension(self):
+        assert diameter(hypercube(5)) == 5
+
+    def test_degenerate(self):
+        assert hypercube(0).n == 1
+        with pytest.raises(InvalidParameterError):
+            hypercube(-1)
+
+
+class TestBalancedTree:
+    def test_binary_tree_counts(self):
+        g = balanced_tree(2, 3)
+        assert g.n == 15
+        assert g.num_edges == 14
+        assert is_connected(g)
+
+    def test_root_and_leaf_degree(self):
+        g = balanced_tree(3, 2)
+        assert g.degree(0) == 3
+        assert g.degree(g.n - 1) == 1
+
+    def test_height_zero(self):
+        assert balanced_tree(2, 0).n == 1
+
+    def test_branching_one_is_path(self):
+        g = balanced_tree(1, 4)
+        assert g.n == 5
+        assert diameter(g) == 4
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidParameterError):
+            balanced_tree(0, 2)
+        with pytest.raises(InvalidParameterError):
+            balanced_tree(2, -1)
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,d", [(20, 3), (50, 4), (100, 6), (256, 16)])
+    def test_regularity(self, n, d):
+        g = random_regular(n, d, seed=1)
+        assert np.all(g.degrees == d)
+        g.validate()
+
+    def test_connected_typically(self):
+        # d >= 3 random regular graphs are connected w.h.p.
+        g = random_regular(200, 3, seed=2)
+        assert is_connected(g)
+
+    def test_zero_degree(self):
+        assert random_regular(5, 0, seed=0).num_edges == 0
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(InvalidParameterError, match="even"):
+            random_regular(5, 3)
+
+    def test_rejects_degree_too_large(self):
+        with pytest.raises(InvalidParameterError):
+            random_regular(4, 4)
+
+    def test_deterministic_given_seed(self):
+        assert random_regular(40, 4, seed=9) == random_regular(40, 4, seed=9)

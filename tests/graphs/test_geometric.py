@@ -1,0 +1,98 @@
+"""Unit tests for random geometric graphs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, InvalidParameterError
+from repro.graphs import (
+    connectivity_radius,
+    is_connected,
+    random_geometric,
+    random_geometric_connected,
+)
+from repro.graphs.geometric import GeometricLayout
+
+
+class TestConnectivityRadius:
+    def test_formula(self):
+        n = 1000
+        r = connectivity_radius(n, 2.0)
+        assert r == pytest.approx(math.sqrt(2.0 * math.log(n) / (math.pi * n)))
+
+    def test_capped(self):
+        assert connectivity_radius(2) <= 1.5
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            connectivity_radius(1)
+        with pytest.raises(InvalidParameterError):
+            connectivity_radius(100, 0.0)
+
+
+class TestRandomGeometric:
+    def test_edges_match_bruteforce(self):
+        """Grid-bucket construction agrees with the O(n²) definition."""
+        n, r = 150, 0.12
+        layout = random_geometric(n, r, seed=1, return_layout=True)
+        pos = layout.positions
+        expected = set()
+        for i in range(n):
+            for j in range(i + 1, n):
+                if np.sum((pos[i] - pos[j]) ** 2) <= r * r:
+                    expected.add((i, j))
+        actual = set(map(tuple, layout.adj.edges()))
+        assert actual == expected
+
+    def test_structure_valid(self):
+        random_geometric(300, 0.1, seed=2).validate()
+
+    def test_tiny_radius_sparse(self):
+        g = random_geometric(100, 1e-6, seed=3)
+        assert g.num_edges == 0
+
+    def test_huge_radius_complete(self):
+        g = random_geometric(30, 2.0, seed=4)
+        assert g.num_edges == 30 * 29 // 2
+
+    def test_layout_fields(self):
+        layout = random_geometric(50, 0.2, seed=5, return_layout=True)
+        assert isinstance(layout, GeometricLayout)
+        assert layout.positions.shape == (50, 2)
+        assert np.all((layout.positions >= 0) & (layout.positions <= 1))
+        assert "radius" in repr(layout)
+
+    def test_zero_nodes(self):
+        assert random_geometric(0, 0.1, seed=6).n == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            random_geometric(-1, 0.1)
+        with pytest.raises(InvalidParameterError):
+            random_geometric(10, 0.0)
+
+    def test_deterministic_given_seed(self):
+        assert random_geometric(80, 0.15, seed=7) == random_geometric(80, 0.15, seed=7)
+
+    def test_expected_degree_matches_area(self):
+        # Interior nodes have expected degree ~ n * pi * r^2 (boundary
+        # effects pull the global average below that).
+        n, r = 2000, 0.05
+        g = random_geometric(n, r, seed=8)
+        full = n * math.pi * r * r
+        assert 0.6 * full < g.average_degree <= full * 1.05
+
+
+class TestConnectedVariant:
+    def test_default_radius_connects(self):
+        g = random_geometric_connected(256, seed=9)
+        assert is_connected(g)
+
+    def test_explicit_radius(self):
+        g = random_geometric_connected(128, 0.3, seed=10)
+        assert is_connected(g)
+
+    def test_hopeless_radius_raises(self):
+        with pytest.raises(GraphError, match="no connected"):
+            random_geometric_connected(200, 0.01, seed=11, max_attempts=3)

@@ -1,0 +1,166 @@
+"""Unit tests for the Lemma 3 layer decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Adjacency,
+    LayerDecomposition,
+    balanced_tree,
+    gnp_connected,
+    layer_decomposition,
+    path_graph,
+    star_graph,
+)
+
+
+class TestBasics:
+    def test_path_layers(self, path5):
+        ld = LayerDecomposition(path5, 0)
+        assert ld.depth == 4
+        assert list(ld.sizes) == [1, 1, 1, 1, 1]
+        assert ld.num_reached == 5
+
+    def test_star_layers(self, star10):
+        ld = LayerDecomposition(star10, 0)
+        assert ld.depth == 1
+        assert list(ld.sizes) == [1, 9]
+
+    def test_layer_accessor(self, path5):
+        ld = LayerDecomposition(path5, 1)
+        assert list(ld.layer(0)) == [1]
+        assert sorted(ld.layer(1)) == [0, 2]
+        assert ld.layer(10).size == 0  # beyond depth
+
+    def test_layer_negative_raises(self, path5):
+        with pytest.raises(GraphError):
+            LayerDecomposition(path5, 0).layer(-1)
+
+    def test_source_out_of_range(self, path5):
+        with pytest.raises(GraphError):
+            LayerDecomposition(path5, 9)
+
+    def test_layers_partition_reachable(self, gnp_small):
+        ld = layer_decomposition(gnp_small, 0)
+        assert int(ld.sizes.sum()) == ld.num_reached == gnp_small.n
+
+    def test_factory_matches_class(self, path5):
+        a = layer_decomposition(path5, 0)
+        b = LayerDecomposition(path5, 0)
+        assert np.array_equal(a.dist, b.dist)
+
+    def test_repr_and_summary(self, path5):
+        ld = LayerDecomposition(path5, 0)
+        assert "depth=4" in repr(ld)
+        s = ld.summary()
+        assert s["depth"] == 4
+        assert s["reached"] == 5
+
+
+class TestEdgeClassification:
+    def test_tree_has_no_excess(self):
+        g = balanced_tree(2, 4)
+        ld = LayerDecomposition(g, 0)
+        assert ld.tree_excess == 0
+        assert int(ld.intra_layer_edge_counts.sum()) == 0
+
+    def test_triangle_intra_edge(self, triangle):
+        ld = LayerDecomposition(triangle, 0)
+        # Nodes 1,2 form layer 1 with one edge between them.
+        assert ld.intra_layer_edge_counts[1] == 1
+        assert ld.tree_excess == 1
+
+    def test_cross_edges_count(self, path5):
+        ld = LayerDecomposition(path5, 0)
+        assert list(ld.cross_layer_edge_counts) == [0, 1, 1, 1, 1]
+
+    def test_edge_counts_sum_to_m(self, gnp_small):
+        ld = LayerDecomposition(gnp_small, 0)
+        total = int(ld.intra_layer_edge_counts.sum() + ld.cross_layer_edge_counts.sum())
+        assert total == gnp_small.num_edges
+
+
+class TestParentCounts:
+    def test_tree_single_parent(self):
+        g = balanced_tree(3, 3)
+        ld = LayerDecomposition(g, 0)
+        pc = ld.parent_counts
+        assert pc[0] == 0
+        assert np.all(pc[1:] == 1)
+        assert ld.multi_parent_count(1) == 0
+
+    def test_cycle_antipode_two_parents(self, cycle6):
+        ld = LayerDecomposition(cycle6, 0)
+        assert ld.multi_parent_count(3) == 1  # the antipodal node
+        assert ld.multi_parent_count(1) == 0
+
+    def test_multi_parent_out_of_range(self, path5):
+        ld = LayerDecomposition(path5, 0)
+        assert ld.multi_parent_count(0) == 0
+        assert ld.multi_parent_count(99) == 0
+
+    def test_fractions_shape(self, gnp_small):
+        ld = LayerDecomposition(gnp_small, 0)
+        frac = ld.multi_parent_fractions()
+        assert frac.shape == (ld.depth + 1,)
+        assert frac[0] == 0.0
+        assert np.all((frac[1:] >= 0) & (frac[1:] <= 1))
+
+
+class TestSiblingGroups:
+    def test_tree_groups_match_children(self):
+        g = balanced_tree(3, 2)
+        ld = LayerDecomposition(g, 0)
+        groups = ld.sibling_groups(2)
+        assert len(groups) == 3  # three layer-1 parents
+        assert all(grp.size == 3 for grp in groups)
+
+    def test_groups_cover_single_parent_nodes(self, gnp_small):
+        ld = LayerDecomposition(gnp_small, 0)
+        for i in range(1, ld.num_layers):
+            layer = ld.layer(i)
+            single = layer[ld.parent_counts[layer] == 1]
+            grouped = (
+                np.concatenate(ld.sibling_groups(i))
+                if ld.sibling_groups(i)
+                else np.empty(0, dtype=np.int64)
+            )
+            assert np.array_equal(np.sort(grouped), np.sort(single))
+
+    def test_group_sizes_sorted_desc(self, gnp_small):
+        ld = LayerDecomposition(gnp_small, 0)
+        sizes = ld.sibling_group_sizes(2)
+        assert np.all(np.diff(sizes) <= 0)
+
+    def test_out_of_range_groups_empty(self, path5):
+        ld = LayerDecomposition(path5, 0)
+        assert ld.sibling_groups(0) == []
+        assert ld.sibling_groups(99) == []
+
+
+class TestLemma3Statistics:
+    """Statistical checks of the lemma's claims on real G(n, p) samples."""
+
+    @pytest.fixture(scope="class")
+    def decomp(self):
+        g = gnp_connected(2000, 12 / 2000, seed=31)
+        return LayerDecomposition(g, 0)
+
+    def test_layer_growth_geometric(self, decomp):
+        # |T_1| ~ d within 3 sigma (Bin(n-1, p)); |T_2| ~ d^2 loosely.
+        d = 12.0
+        assert abs(decomp.sizes[1] - d) < 3 * np.sqrt(d)
+        assert 0.5 * d**2 < decomp.sizes[2] < 2.0 * d**2
+
+    def test_big_layer_count_constant(self, decomp):
+        assert decomp.big_layer_count(2000 / 12) <= 3
+
+    def test_small_layers_nearly_tree(self, decomp):
+        # Layers 1-2 (sizes ≪ n/d) should have almost no multi-parent nodes.
+        assert decomp.multi_parent_count(1) <= 2
+        frac2 = decomp.multi_parent_count(2) / decomp.sizes[2]
+        assert frac2 < 0.15
+
+    def test_intra_layer_edges_sparse_early(self, decomp):
+        assert decomp.intra_layer_edge_counts[1] <= 2

@@ -1,0 +1,98 @@
+"""Unit tests for Chung–Lu power-law graphs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, InvalidParameterError
+from repro.graphs import chung_lu, chung_lu_connected, powerlaw_weights
+from repro.graphs.properties import largest_component
+
+
+class TestPowerlawWeights:
+    def test_mean_matches(self):
+        w = powerlaw_weights(1000, 2.5, 12.0)
+        assert w.mean() == pytest.approx(12.0)
+
+    def test_decreasing(self):
+        w = powerlaw_weights(100, 2.5, 8.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_heavier_tail_for_smaller_exponent(self):
+        heavy = powerlaw_weights(1000, 2.1, 10.0)
+        light = powerlaw_weights(1000, 3.5, 10.0)
+        assert heavy.max() > light.max()
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            powerlaw_weights(0, 2.5, 10)
+        with pytest.raises(InvalidParameterError):
+            powerlaw_weights(10, 2.0, 10)
+        with pytest.raises(InvalidParameterError):
+            powerlaw_weights(10, 2.5, 0)
+
+
+class TestChungLu:
+    def test_structure_valid(self):
+        w = powerlaw_weights(500, 2.5, 10.0)
+        chung_lu(w, seed=1).validate()
+
+    def test_average_degree_matches_weights(self):
+        w = powerlaw_weights(3000, 2.8, 14.0)
+        g = chung_lu(w, seed=2)
+        # Heavy clipping (min(1, ...)) loses a little mass; 15% window.
+        assert g.average_degree == pytest.approx(14.0, rel=0.15)
+
+    def test_degree_weight_correlation(self):
+        w = powerlaw_weights(2000, 2.5, 12.0)
+        g = chung_lu(w, seed=3)
+        assert np.corrcoef(w, g.degrees)[0, 1] > 0.9
+
+    def test_pair_probability_montecarlo(self):
+        # A mid-weight pair's empirical edge frequency matches w_u w_v / S.
+        w = np.full(40, 2.0)
+        S = w.sum()
+        expected = 4.0 / S  # = 0.05
+        hits = sum(chung_lu(w, seed=s).has_edge(10, 30) for s in range(800))
+        freq = hits / 800
+        assert abs(freq - expected) < 4 * np.sqrt(expected * (1 - expected) / 800)
+
+    def test_uniform_weights_reduce_to_gnp(self):
+        # Constant weights w: edge prob w^2 / (n w) = w / n for all pairs.
+        w = np.full(200, 8.0)
+        g = chung_lu(w, seed=4)
+        assert g.average_degree == pytest.approx(8.0, rel=0.25)
+
+    def test_zero_weights(self):
+        g = chung_lu(np.zeros(10), seed=5)
+        assert g.num_edges == 0
+
+    def test_deterministic_given_seed(self):
+        w = powerlaw_weights(300, 2.5, 10.0)
+        assert chung_lu(w, seed=6) == chung_lu(w, seed=6)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            chung_lu(np.array([[1.0]]))
+        with pytest.raises(InvalidParameterError):
+            chung_lu(np.array([-1.0, 2.0]))
+        with pytest.raises(InvalidParameterError):
+            chung_lu(np.array([]))
+
+    def test_giant_component_large(self):
+        w = powerlaw_weights(1500, 2.5, 16.0)
+        g = chung_lu(w, seed=7)
+        assert largest_component(g).size > 0.95 * g.n
+
+
+class TestChungLuConnected:
+    def test_connected_at_high_degree(self):
+        w = np.full(150, 20.0)  # uniform heavy weights: connected w.h.p.
+        from repro.graphs import is_connected
+
+        g = chung_lu_connected(w, seed=8)
+        assert is_connected(g)
+
+    def test_raises_when_hopeless(self):
+        w = np.full(200, 0.2)  # almost empty graph
+        with pytest.raises(GraphError, match="no connected"):
+            chung_lu_connected(w, seed=9, max_attempts=3)

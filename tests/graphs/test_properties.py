@@ -1,0 +1,103 @@
+"""Unit tests for connectivity / diameter / degree properties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Adjacency,
+    complete_graph,
+    cycle_graph,
+    diameter,
+    gnp,
+    grid_2d,
+    is_connected,
+    path_graph,
+)
+from repro.graphs.properties import (
+    connected_components,
+    degree_histogram,
+    diameter_lower_bound,
+    eccentricity,
+    largest_component,
+)
+
+
+class TestConnectivity:
+    def test_connected_path(self, path5):
+        assert is_connected(path5)
+
+    def test_disconnected(self):
+        g = Adjacency.from_edges(4, [(0, 1), (2, 3)])
+        assert not is_connected(g)
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(Adjacency.empty(0))
+
+    def test_single_node_connected(self):
+        assert is_connected(Adjacency.empty(1))
+
+    def test_components_labels(self):
+        g = Adjacency.from_edges(5, [(0, 1), (2, 3)])
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert len({labels[0], labels[2], labels[4]}) == 3
+
+    def test_largest_component(self):
+        g = Adjacency.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        assert list(largest_component(g)) == [0, 1, 2]
+
+    def test_largest_component_empty(self):
+        assert largest_component(Adjacency.empty(0)).size == 0
+
+
+class TestEccentricityDiameter:
+    def test_path_eccentricity(self, path5):
+        assert eccentricity(path5, 0) == 4
+        assert eccentricity(path5, 2) == 2
+
+    def test_eccentricity_disconnected_raises(self):
+        g = Adjacency.from_edges(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            eccentricity(g, 0)
+
+    def test_diameter_known_values(self):
+        assert diameter(path_graph(10)) == 9
+        assert diameter(cycle_graph(10)) == 5
+        assert diameter(complete_graph(7)) == 1
+        assert diameter(grid_2d(3, 7)) == 8
+
+    def test_diameter_empty_raises(self):
+        with pytest.raises(GraphError):
+            diameter(Adjacency.empty(0))
+
+    def test_diameter_disconnected_raises(self):
+        g = Adjacency.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(GraphError):
+            diameter(g)
+
+    def test_diameter_sampled_agrees_on_random_graph(self):
+        g = gnp(300, 0.05, seed=8)
+        if not is_connected(g):
+            pytest.skip("sample disconnected")
+        exact = diameter(g, exact_limit=1000)
+        approx = diameter(g, exact_limit=10, samples=64, seed=1)
+        assert approx <= exact
+        assert approx >= exact - 1  # eccentricities concentrate on G(n,p)
+
+    def test_diameter_lower_bound_path(self):
+        assert diameter_lower_bound(path_graph(50), samples=8, seed=0) == 49
+
+
+class TestDegreeHistogram:
+    def test_star(self, star10):
+        hist = degree_histogram(star10)
+        assert hist[1] == 9
+        assert hist[9] == 1
+
+    def test_empty(self):
+        assert list(degree_histogram(Adjacency.empty(0))) == [0]
+
+    def test_sums_to_n(self, gnp_small):
+        assert degree_histogram(gnp_small).sum() == gnp_small.n

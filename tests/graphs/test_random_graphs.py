@@ -1,0 +1,199 @@
+"""Unit tests for the G(n, p) / G(n, m) generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, InvalidParameterError
+from repro.graphs import gnm, gnp, gnp_connected, is_connected
+from repro.graphs.random_graphs import (
+    _decode_pairs,
+    _row_offsets,
+    _sample_subset,
+    pair_count,
+    supercritical_probability,
+)
+from repro.theory.concentration import binomial_tail_upper
+
+
+class TestHelpers:
+    def test_pair_count(self):
+        assert pair_count(1) == 0
+        assert pair_count(2) == 1
+        assert pair_count(5) == 10
+
+    def test_row_offsets(self):
+        off = _row_offsets(4)
+        assert list(off) == [0, 3, 5, 6]
+
+    def test_decode_pairs_exhaustive(self):
+        n = 6
+        pairs = _decode_pairs(n, np.arange(pair_count(n), dtype=np.int64))
+        expected = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        assert [tuple(p) for p in pairs] == expected
+
+    def test_sample_subset_full(self, rng):
+        out = _sample_subset(rng, 10, 10)
+        assert list(out) == list(range(10))
+
+    def test_sample_subset_empty(self, rng):
+        assert _sample_subset(rng, 10, 0).size == 0
+
+    def test_sample_subset_distinct_sorted(self, rng):
+        out = _sample_subset(rng, 1000, 400)
+        assert out.size == 400
+        assert np.all(np.diff(out) > 0)
+
+    def test_sample_subset_dense_path(self, rng):
+        out = _sample_subset(rng, 100, 90)  # exercises complement branch
+        assert out.size == 90
+        assert np.all(np.diff(out) > 0)
+        assert out.max() < 100
+
+    def test_sample_subset_rejects_bad_count(self, rng):
+        with pytest.raises(InvalidParameterError):
+            _sample_subset(rng, 10, 11)
+
+    def test_supercritical_probability(self):
+        p = supercritical_probability(1000)
+        assert p == pytest.approx(2 * np.log(1000) / 1000)
+        assert supercritical_probability(2) <= 1.0
+        with pytest.raises(InvalidParameterError):
+            supercritical_probability(1)
+
+
+class TestGnp:
+    def test_p_zero(self):
+        g = gnp(50, 0.0, seed=0)
+        assert g.num_edges == 0
+
+    def test_p_one(self):
+        g = gnp(20, 1.0, seed=0)
+        assert g.num_edges == pair_count(20)
+
+    def test_trivial_sizes(self):
+        assert gnp(0, 0.5, seed=0).n == 0
+        assert gnp(1, 0.5, seed=0).num_edges == 0
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(InvalidParameterError):
+            gnp(10, 1.5)
+        with pytest.raises(InvalidParameterError):
+            gnp(10, -0.1)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(InvalidParameterError):
+            gnp(-5, 0.5)
+
+    def test_structure_valid(self):
+        g = gnp(200, 0.05, seed=3)
+        g.validate()
+
+    def test_edge_count_concentrates(self):
+        # m ~ Bin(N, p); check it within a Chernoff-justified window whose
+        # two-sided failure probability is < 1e-9.
+        n, p = 400, 0.1
+        total = pair_count(n)
+        g = gnp(n, p, seed=11)
+        mean = total * p
+        # Find rho with tail < 1e-9 (Chernoff), then assert.
+        rho = 0.3
+        assert binomial_tail_upper(total, p, int(mean * (1 + rho))) < 1e-9
+        assert abs(g.num_edges - mean) < rho * mean
+
+    def test_deterministic_given_seed(self):
+        a = gnp(100, 0.1, seed=42)
+        b = gnp(100, 0.1, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = gnp(100, 0.1, seed=1)
+        b = gnp(100, 0.1, seed=2)
+        assert a != b
+
+    def test_dense_p(self):
+        g = gnp(60, 0.9, seed=5)
+        frac = g.num_edges / pair_count(60)
+        assert 0.8 < frac < 0.97
+        g.validate()
+
+    def test_degree_distribution_mean(self):
+        n, p = 500, 0.08
+        g = gnp(n, p, seed=9)
+        assert g.average_degree == pytest.approx((n - 1) * p, rel=0.15)
+
+    def test_edge_independence_uniformity(self):
+        # Every specific pair should appear with frequency ~ p across seeds.
+        n, p, reps = 30, 0.3, 300
+        hits = 0
+        for s in range(reps):
+            if gnp(n, p, seed=s).has_edge(3, 17):
+                hits += 1
+        # Bin(300, 0.3): mean 90, std ~7.9; 5 sigma window.
+        assert abs(hits - reps * p) < 5 * np.sqrt(reps * p * (1 - p))
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm(50, 123, seed=0)
+        assert g.num_edges == 123
+
+    def test_m_zero(self):
+        assert gnm(10, 0, seed=0).num_edges == 0
+
+    def test_m_full(self):
+        g = gnm(10, pair_count(10), seed=0)
+        assert g.num_edges == pair_count(10)
+
+    def test_rejects_m_too_large(self):
+        with pytest.raises(InvalidParameterError):
+            gnm(10, pair_count(10) + 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            gnm(10, -1)
+        with pytest.raises(InvalidParameterError):
+            gnm(-1, 0)
+
+    def test_structure_valid(self):
+        gnm(100, 300, seed=7).validate()
+
+    def test_deterministic_given_seed(self):
+        assert gnm(80, 200, seed=5) == gnm(80, 200, seed=5)
+
+
+class TestGnpConnected:
+    def test_connected_above_threshold(self):
+        g = gnp_connected(200, 0.1, seed=0)
+        assert is_connected(g)
+
+    def test_raises_below_threshold(self):
+        # p far below ln(n)/n: practically never connected.
+        with pytest.raises(GraphError, match="no connected"):
+            gnp_connected(500, 0.001, seed=0, max_attempts=5)
+
+    def test_deterministic_given_seed(self):
+        assert gnp_connected(100, 0.15, seed=3) == gnp_connected(100, 0.15, seed=3)
+
+
+class TestDegreeConcentration:
+    """The paper's Section 2 setup: all degrees in [alpha*d, beta*d] w.h.p."""
+
+    def test_all_degrees_within_chernoff_envelope(self):
+        from repro.theory.concentration import degree_bounds
+
+        n, p = 3000, 0.02
+        g = gnp(n, p, seed=77)
+        # Union bound over n nodes at total failure 1e-6.
+        lo, hi = degree_bounds(n, p, failure=1e-6 / n)
+        assert g.min_degree >= lo
+        assert g.max_degree <= hi
+
+    def test_degree_ratio_bounded(self):
+        # alpha*pn <= d_min <= d_max <= beta*pn with small beta/alpha in
+        # the supercritical regime.
+        n = 2000
+        p = 8 * np.log(n) / n
+        g = gnp(n, p, seed=78)
+        d = p * n
+        assert g.min_degree > 0.5 * d
+        assert g.max_degree < 1.7 * d

@@ -1,0 +1,166 @@
+"""Unit tests for the Theorem 6 survival machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs import complete_graph, gnp, gnp_connected, star_graph
+from repro.lowerbounds.centralized import (
+    relaxed_schedule_survivors,
+    rounds_to_inform_all_relaxed,
+    sample_transmit_sets,
+    survival_probability,
+)
+
+
+class TestSampleTransmitSets:
+    def test_fixed_size(self, rng):
+        sets = sample_transmit_sets(100, 5, set_size=3, seed=rng)
+        assert len(sets) == 5
+        assert all(s.size == 3 for s in sets)
+        assert all(np.unique(s).size == s.size for s in sets)
+
+    def test_size_range(self, rng):
+        sets = sample_transmit_sets(100, 50, set_size=(1, 2), seed=rng)
+        sizes = {s.size for s in sets}
+        assert sizes <= {1, 2}
+        assert len(sizes) == 2  # both sizes appear over 50 draws w.h.p.
+
+    def test_disjoint(self, rng):
+        sets = sample_transmit_sets(100, 20, set_size=(1, 2), seed=rng, disjoint=True)
+        allv = np.concatenate(sets)
+        assert np.unique(allv).size == allv.size
+
+    def test_disjoint_infeasible(self, rng):
+        with pytest.raises(InvalidParameterError, match="disjoint"):
+            sample_transmit_sets(10, 20, set_size=2, seed=rng, disjoint=True)
+
+    def test_validation(self, rng):
+        with pytest.raises(InvalidParameterError):
+            sample_transmit_sets(0, 5, set_size=1)
+        with pytest.raises(InvalidParameterError):
+            sample_transmit_sets(10, 5, set_size=0)
+        with pytest.raises(InvalidParameterError):
+            sample_transmit_sets(10, 5, set_size=(3, 2))
+
+    def test_zero_rounds(self, rng):
+        assert sample_transmit_sets(10, 0, set_size=1, seed=rng) == []
+
+
+class TestRelaxedSurvivors:
+    def test_source_neighborhood_pre_informed(self, star10):
+        # Star from hub: neighbourhood = everything, no survivors even with
+        # an empty schedule.
+        assert relaxed_schedule_survivors(star10, [], 0).size == 0
+
+    def test_empty_schedule_leaves_far_nodes(self, path5):
+        survivors = relaxed_schedule_survivors(path5, [], 0)
+        assert list(survivors) == [2, 3, 4]
+
+    def test_exactly_one_edge_informs(self, path5):
+        # Pre-informed: {0, 1}.  S = {2}: nodes 1 and 3 have exactly one
+        # edge to S -> 3 becomes informed; the transmitter 2 itself does
+        # not (the proof's rule), and 4 hears nothing.
+        survivors = relaxed_schedule_survivors(path5, [np.array([2])], 0)
+        assert list(survivors) == [2, 4]
+
+    def test_two_edges_block(self):
+        # K4 from source 0: N(0) pre-informed = all. Use a path instead:
+        # 0-1-2, 0-3, 3-2: S = {1, 3} -> node 2 has two edges: survives.
+        from repro.graphs import Adjacency
+
+        g = Adjacency.from_edges(4, [(0, 1), (1, 2), (0, 3), (3, 2)])
+        survivors = relaxed_schedule_survivors(g, [np.array([1, 3])], 0)
+        assert list(survivors) == [2]
+
+    def test_transmitters_not_informed_by_own_round(self):
+        from repro.graphs import Adjacency
+
+        # 0 - 1 - 2 - 3 line; source 0 pre-informs {0,1}. S={3}: node 2
+        # hears it, node 3 itself transmits and must stay uninformed.
+        g = Adjacency.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        survivors = relaxed_schedule_survivors(g, [np.array([3])], 0)
+        assert 3 in survivors  # transmitting does not inform you
+
+    def test_ignores_transmitter_informedness(self, path5):
+        # Node 3 is uninformed yet its transmission informs under the
+        # relaxed rule — this is what makes the model adversary-friendly.
+        survivors = relaxed_schedule_survivors(path5, [np.array([3])], 0)
+        assert 2 not in survivors
+        assert 4 not in survivors
+
+    def test_source_validation(self, path5):
+        with pytest.raises(InvalidParameterError):
+            relaxed_schedule_survivors(path5, [], 99)
+
+
+class TestSurvivalProbability:
+    def test_short_schedules_always_survive(self):
+        # 1 round of a size-<=2 set on G(64, 1/2): some node always survives.
+        prob = survival_probability(
+            lambda rng: gnp(64, 0.5, rng),
+            num_rounds=1,
+            set_size=(1, 2),
+            trials=10,
+            seed=0,
+        )
+        assert prob == 1.0
+
+    def test_long_schedules_rarely_survive(self):
+        # 40 rounds of size-2 sets on G(64, 1/2): survivors ~ 32 * 2^-40.
+        prob = survival_probability(
+            lambda rng: gnp(64, 0.5, rng),
+            num_rounds=40,
+            set_size=2,
+            trials=10,
+            seed=1,
+        )
+        assert prob == 0.0
+
+    def test_monotone_in_rounds(self):
+        factory = lambda rng: gnp(128, 0.5, rng)
+        probs = [
+            survival_probability(
+                factory, num_rounds=k, set_size=(1, 2), trials=15, seed=2
+            )
+            for k in (2, 30)
+        ]
+        assert probs[0] >= probs[1]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            survival_probability(
+                lambda rng: gnp(16, 0.5, rng), num_rounds=1, set_size=1, trials=0
+            )
+
+
+class TestRoundsToInformAllRelaxed:
+    def test_completes_on_gnp(self):
+        g = gnp_connected(256, 16 / 256, seed=3)
+        rounds = rounds_to_inform_all_relaxed(g, set_size=16, seed=4)
+        assert 1 <= rounds < 200
+
+    def test_grows_with_n(self):
+        # Averaged over seeds, larger graphs need more relaxed rounds.
+        def mean_rounds(n, seeds):
+            vals = []
+            for s in seeds:
+                g = gnp_connected(n, 16 / n, seed=s)
+                vals.append(rounds_to_inform_all_relaxed(g, set_size=n // 16, seed=s))
+            return np.mean(vals)
+
+        small = mean_rounds(128, range(4))
+        large = mean_rounds(1024, range(4))
+        assert large > small
+
+    def test_budget_exhaustion_raises(self):
+        g = gnp_connected(256, 16 / 256, seed=5)
+        with pytest.raises(RuntimeError, match="failed to inform"):
+            rounds_to_inform_all_relaxed(g, set_size=1, seed=6, max_rounds=1)
+
+    def test_validation(self):
+        g = gnp_connected(64, 0.2, seed=7)
+        with pytest.raises(InvalidParameterError):
+            rounds_to_inform_all_relaxed(g, set_size=4, max_rounds=0)

@@ -1,0 +1,135 @@
+"""Property-based tests for covers and matchings (hypothesis).
+
+Proposition 2 is a universally quantified statement ("*every* minimal
+covering yields an independent matching of the same size") — exactly the
+shape property-based testing handles: we verify the constructive proof on
+arbitrary random bipartite instances.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import gnp
+from repro.graphs.covering import (
+    cover_counts,
+    greedy_independent_cover,
+    greedy_independent_matching,
+    independent_matching_from_covering,
+    is_covering,
+    is_independent_matching,
+    is_minimal_covering,
+    minimal_covering,
+)
+
+instance = st.tuples(
+    st.integers(min_value=4, max_value=40),  # n
+    st.floats(min_value=0.1, max_value=0.9),  # p
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.floats(min_value=0.2, max_value=0.8),  # split point
+)
+
+
+def make_instance(params):
+    n, p, seed, split = params
+    g = gnp(n, p, seed=seed)
+    cut = max(1, min(n - 1, int(split * n)))
+    X = np.arange(0, cut, dtype=np.int64)
+    Y = np.arange(cut, n, dtype=np.int64)
+    return g, X, Y
+
+
+class TestMinimalCovering:
+    @given(instance)
+    @settings(max_examples=100, deadline=None)
+    def test_output_is_minimal_covering_or_none_exists(self, params):
+        g, X, Y = make_instance(params)
+        try:
+            cover = minimal_covering(g, X, Y)
+        except GraphError:
+            # Legitimately no covering: some y has no neighbour in X.
+            counts = cover_counts(g, X, Y) if X.size else np.zeros(Y.size)
+            assert X.size == 0 or np.any(counts == 0)
+            return
+        assert is_covering(g, cover, Y)
+        assert is_minimal_covering(g, cover, Y)
+        assert np.all(np.isin(cover, X))
+
+
+class TestProposition2:
+    @given(instance)
+    @settings(max_examples=100, deadline=None)
+    def test_minimal_cover_yields_full_matching(self, params):
+        g, X, Y = make_instance(params)
+        try:
+            cover = minimal_covering(g, X, Y)
+        except GraphError:
+            assume(False)  # no covering on this instance
+        pairs = independent_matching_from_covering(g, cover, Y)
+        # Proposition 2: matching size equals cover size, and it is
+        # genuinely independent.
+        assert pairs.shape[0] == cover.size
+        assert is_independent_matching(g, pairs)
+        assert np.all(np.isin(pairs[:, 0], cover))
+        assert np.all(np.isin(pairs[:, 1], Y))
+
+
+class TestGreedyIndependentCover:
+    @given(instance)
+    @settings(max_examples=100, deadline=None)
+    def test_informed_hear_exactly_one(self, params):
+        g, X, Y = make_instance(params)
+        cover, informed = greedy_independent_cover(g, X, Y, seed=0)
+        assert np.all(np.isin(cover, X))
+        assert np.all(np.isin(informed, Y))
+        if informed.size:
+            assert np.all(cover_counts(g, cover, informed) == 1)
+
+    @given(instance)
+    @settings(max_examples=60, deadline=None)
+    def test_progress_when_cover_possible(self, params):
+        g, X, Y = make_instance(params)
+        reachable = (
+            np.any(cover_counts(g, X, Y) > 0) if X.size and Y.size else False
+        )
+        _, informed = greedy_independent_cover(g, X, Y, seed=0)
+        if reachable:
+            assert informed.size >= 1  # guaranteed progress
+        else:
+            assert informed.size == 0
+
+
+class TestGreedyIndependentMatching:
+    @given(instance)
+    @settings(max_examples=100, deadline=None)
+    def test_always_independent(self, params):
+        g, X, Y = make_instance(params)
+        pairs = greedy_independent_matching(g, X, Y, seed=0)
+        assert is_independent_matching(g, pairs)
+
+    @given(instance)
+    @settings(max_examples=60, deadline=None)
+    def test_maximality(self, params):
+        # No unmatched (x, y) edge can be added without violating
+        # independence — the greedy result is maximal.
+        g, X, Y = make_instance(params)
+        pairs = greedy_independent_matching(g, X, Y, seed=0)
+        used = set(int(v) for v in pairs.ravel())
+        xs = set(int(x) for x in pairs[:, 0])
+        ys = set(int(y) for y in pairs[:, 1])
+        for y in Y:
+            if int(y) in used:
+                continue
+            # y blocked if adjacent to a matched x.
+            if any(int(nb) in xs for nb in g.neighbors(int(y))):
+                continue
+            for x in g.neighbors(int(y)):
+                x = int(x)
+                if x not in set(int(i) for i in X) or x in used:
+                    continue
+                if any(int(nb) in ys for nb in g.neighbors(x)):
+                    continue
+                raise AssertionError(
+                    f"pair ({x}, {int(y)}) could extend the matching"
+                )

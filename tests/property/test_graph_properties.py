@@ -1,0 +1,129 @@
+"""Property-based tests for the graph substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Adjacency, gnm, gnp
+from repro.graphs.bfs import bfs_distances, bfs_layers_list, bfs_tree
+from repro.graphs.random_graphs import pair_count
+
+# Strategy: arbitrary edge lists over small node ranges.
+edge_lists = st.integers(min_value=2, max_value=25).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=60,
+        ),
+    )
+)
+
+gnp_params = st.tuples(
+    st.integers(min_value=2, max_value=40),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+class TestAdjacencyInvariants:
+    @given(edge_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_from_edges_structural_invariants(self, data):
+        n, edges = data
+        g = Adjacency.from_edges(n, edges)
+        g.validate()  # symmetry, sortedness, no loops, no duplicates
+        # Degree sum == 2m (handshake lemma).
+        assert int(g.degrees.sum()) == 2 * g.num_edges
+        # Edge list round-trips.
+        g2 = Adjacency.from_edges(n, g.edges())
+        assert g == g2
+
+    @given(edge_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_dense_roundtrip(self, data):
+        n, edges = data
+        g = Adjacency.from_edges(n, edges)
+        assert Adjacency.from_dense(g.to_dense()) == g
+
+    @given(edge_lists, st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_neighbor_counts_matches_bruteforce(self, data, seed):
+        n, edges = data
+        g = Adjacency.from_edges(n, edges)
+        mask = np.random.default_rng(seed).random(n) < 0.5
+        counts = g.neighbor_counts(mask)
+        for v in range(n):
+            assert counts[v] == int(np.sum(mask[g.neighbors(v)]))
+
+    @given(edge_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_subgraph_edges_subset(self, data):
+        n, edges = data
+        g = Adjacency.from_edges(n, edges)
+        pick = np.arange(0, n, 2)
+        sub, nodes = g.subgraph(pick)
+        for u, v in sub.edges():
+            assert g.has_edge(int(nodes[u]), int(nodes[v]))
+
+
+class TestGeneratorInvariants:
+    @given(gnp_params)
+    @settings(max_examples=60, deadline=None)
+    def test_gnp_valid_structure(self, params):
+        n, p, seed = params
+        g = gnp(n, p, seed=seed)
+        g.validate()
+        assert g.n == n
+        assert 0 <= g.num_edges <= pair_count(n)
+
+    @given(
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=0, max_value=10_000),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gnm_exact_count(self, n, seed, data):
+        m = data.draw(st.integers(0, pair_count(n)))
+        g = gnm(n, m, seed=seed)
+        g.validate()
+        assert g.num_edges == m
+
+
+class TestBfsInvariants:
+    @given(gnp_params)
+    @settings(max_examples=60, deadline=None)
+    def test_distance_lipschitz_across_edges(self, params):
+        n, p, seed = params
+        g = gnp(n, p, seed=seed)
+        dist = bfs_distances(g, 0)
+        for u, v in g.edges():
+            du, dv = dist[u], dist[v]
+            if du >= 0 and dv >= 0:
+                assert abs(du - dv) <= 1
+            else:
+                # Reachability is a component property: both or neither.
+                assert du == dv == -1
+
+    @given(gnp_params)
+    @settings(max_examples=40, deadline=None)
+    def test_layers_partition_reachable_set(self, params):
+        n, p, seed = params
+        g = gnp(n, p, seed=seed)
+        dist = bfs_distances(g, 0)
+        layers = bfs_layers_list(g, 0)
+        reached = np.flatnonzero(dist >= 0)
+        assert np.array_equal(np.sort(np.concatenate(layers)), reached)
+
+    @given(gnp_params)
+    @settings(max_examples=40, deadline=None)
+    def test_tree_parent_distance_invariant(self, params):
+        n, p, seed = params
+        g = gnp(n, p, seed=seed)
+        dist, parent = bfs_tree(g, 0)
+        for v in range(n):
+            if parent[v] >= 0:
+                assert dist[v] == dist[parent[v]] + 1
+                assert g.has_edge(int(parent[v]), v)

@@ -1,0 +1,87 @@
+"""Property-based tests for the radio kernel (hypothesis).
+
+The vectorized kernel is differential-tested against the pure-Python
+transcription of the model definition across arbitrary graphs and masks.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import gnp
+from repro.radio import RadioNetwork
+
+scenario = st.tuples(
+    st.integers(min_value=2, max_value=30),  # n
+    st.floats(min_value=0.0, max_value=0.8),  # p
+    st.integers(min_value=0, max_value=10_000),  # graph seed
+    st.integers(min_value=0, max_value=10_000),  # mask seed
+    st.floats(min_value=0.0, max_value=1.0),  # transmit density
+    st.floats(min_value=0.0, max_value=1.0),  # informed density
+)
+
+
+class TestKernelAgainstReference:
+    @given(scenario)
+    @settings(max_examples=120, deadline=None)
+    def test_vectorized_equals_reference(self, params):
+        n, p, gseed, mseed, tdens, idens = params
+        g = gnp(n, p, seed=gseed)
+        net = RadioNetwork(g)
+        rng = np.random.default_rng(mseed)
+        informed = rng.random(n) < idens
+        transmitting = rng.random(n) < tdens
+        a = net.step(transmitting, informed)
+        b = net.step_reference(transmitting, informed)
+        assert np.array_equal(a.received, b.received)
+        assert np.array_equal(a.collided, b.collided)
+        assert np.array_equal(a.newly_informed, b.newly_informed)
+
+
+class TestModelInvariants:
+    @given(scenario)
+    @settings(max_examples=80, deadline=None)
+    def test_reception_requires_neighboring_transmitter(self, params):
+        n, p, gseed, mseed, tdens, idens = params
+        g = gnp(n, p, seed=gseed)
+        net = RadioNetwork(g)
+        rng = np.random.default_rng(mseed)
+        informed = rng.random(n) < idens
+        transmitting = rng.random(n) < tdens
+        res = net.step(transmitting, informed)
+        receivers = np.flatnonzero(res.received)
+        for w in receivers:
+            # A receiver never transmits and has exactly one transmitting
+            # neighbour, which is informed.
+            assert not transmitting[w]
+            senders = [v for v in g.neighbors(w) if transmitting[v]]
+            assert len(senders) == 1
+            assert informed[senders[0]]
+
+    @given(scenario)
+    @settings(max_examples=80, deadline=None)
+    def test_collided_and_received_disjoint(self, params):
+        n, p, gseed, mseed, tdens, idens = params
+        g = gnp(n, p, seed=gseed)
+        net = RadioNetwork(g)
+        rng = np.random.default_rng(mseed)
+        informed = rng.random(n) < idens
+        transmitting = rng.random(n) < tdens
+        res = net.step(transmitting, informed)
+        assert not np.any(res.received & res.collided)
+        # Transmitters neither receive nor collide.
+        assert not np.any(res.received & transmitting)
+        assert not np.any(res.collided & transmitting)
+
+    @given(scenario)
+    @settings(max_examples=60, deadline=None)
+    def test_newly_informed_subset_of_received(self, params):
+        n, p, gseed, mseed, tdens, idens = params
+        g = gnp(n, p, seed=gseed)
+        net = RadioNetwork(g)
+        rng = np.random.default_rng(mseed)
+        informed = rng.random(n) < idens
+        transmitting = rng.random(n) < tdens
+        res = net.step(transmitting, informed)
+        assert np.all(res.received[res.newly_informed])
+        assert not np.any(informed[res.newly_informed])

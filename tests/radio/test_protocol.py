@@ -1,0 +1,49 @@
+"""Unit tests for the protocol interface and adapters."""
+
+import numpy as np
+import pytest
+
+from repro.radio.protocol import FunctionProtocol, RadioProtocol, bernoulli_mask
+
+
+class TestBernoulliMask:
+    def test_extremes(self, rng):
+        assert not np.any(bernoulli_mask(rng, 0.0, 100))
+        assert np.all(bernoulli_mask(rng, 1.0, 100))
+
+    def test_scalar_rate(self, rng):
+        mask = bernoulli_mask(rng, 0.3, 10000)
+        assert abs(mask.mean() - 0.3) < 0.03
+
+    def test_per_node_rates(self, rng):
+        probs = np.concatenate([np.zeros(500), np.ones(500)])
+        mask = bernoulli_mask(rng, probs, 1000)
+        assert not np.any(mask[:500])
+        assert np.all(mask[500:])
+
+
+class TestFunctionProtocol:
+    def test_delegates(self, rng):
+        calls = []
+
+        def fn(t, informed, informed_round, r):
+            calls.append(t)
+            return informed.copy()
+
+        proto = FunctionProtocol(fn, name="probe")
+        informed = np.array([True, False])
+        out = proto.transmit_mask(3, informed, np.array([0, -1]), rng)
+        assert calls == [3]
+        assert np.array_equal(out, informed)
+        assert proto.name == "probe"
+        assert "probe" in repr(proto)
+
+    def test_prepare_default_noop(self):
+        proto = FunctionProtocol(lambda *a: None)
+        proto.prepare(10, 0.5, 0)  # must not raise
+
+
+class TestAbstractBase:
+    def test_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            RadioProtocol()

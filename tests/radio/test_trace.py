@@ -1,0 +1,104 @@
+"""Unit tests for broadcast traces."""
+
+import numpy as np
+import pytest
+
+from repro.radio.trace import BroadcastTrace, RoundRecord
+
+
+def make_trace(n=4, rounds=((1, 1), (2, 2)), complete=True):
+    """Trace helper: rounds as (num_new, informed_after_increment) tuples."""
+    trace = BroadcastTrace(source=0, n=n)
+    informed = np.zeros(n, dtype=bool)
+    informed[0] = True
+    informed_round = np.full(n, -1, dtype=np.int64)
+    informed_round[0] = 0
+    count = 1
+    nxt = 1
+    for t, (new, _) in enumerate(rounds, start=1):
+        for _ in range(new):
+            if nxt < n:
+                informed[nxt] = True
+                informed_round[nxt] = t
+                nxt += 1
+        count = int(informed.sum())
+        trace.records.append(
+            RoundRecord(
+                round_index=t,
+                num_transmitters=1,
+                num_new=new,
+                num_collided=0,
+                informed_after=count,
+            )
+        )
+    if not complete:
+        informed[-1] = False
+        informed_round[-1] = -1
+    trace.informed = informed
+    trace.informed_round = informed_round
+    return trace
+
+
+class TestBasics:
+    def test_complete_trace(self):
+        trace = make_trace(4, rounds=((1, 0), (2, 0)))
+        assert trace.completed
+        assert trace.num_rounds == 2
+        assert trace.num_informed == 4
+        assert trace.completion_round == 2
+
+    def test_incomplete_trace(self):
+        trace = make_trace(4, rounds=((1, 0),), complete=False)
+        assert not trace.completed
+        with pytest.raises(ValueError, match="did not complete"):
+            trace.completion_round
+
+    def test_empty_informed(self):
+        trace = BroadcastTrace(source=0, n=3)
+        assert trace.num_informed == 0
+        assert not trace.completed
+
+    def test_totals(self):
+        trace = make_trace(4, rounds=((1, 0), (2, 0)))
+        assert trace.total_transmissions == 2
+        assert trace.total_collisions == 0
+
+    def test_repr(self):
+        trace = make_trace(4, rounds=((1, 0), (2, 0)))
+        assert "complete" in repr(trace)
+        trace2 = make_trace(4, rounds=((1, 0),), complete=False)
+        assert "/4" in repr(trace2)
+
+    def test_summary_keys(self):
+        s = make_trace().summary()
+        assert set(s) == {
+            "source",
+            "n",
+            "rounds",
+            "completed",
+            "informed",
+            "transmissions",
+            "collisions",
+        }
+
+
+class TestCurves:
+    def test_informed_curve(self):
+        trace = make_trace(4, rounds=((1, 0), (2, 0)))
+        assert list(trace.informed_curve()) == [1, 2, 4]
+
+    def test_monotone(self):
+        trace = make_trace(6, rounds=((2, 0), (1, 0), (2, 0)))
+        curve = trace.informed_curve()
+        assert np.all(np.diff(curve) >= 0)
+
+    def test_rounds_to_fraction(self):
+        trace = make_trace(4, rounds=((1, 0), (2, 0)))
+        assert trace.rounds_to_fraction(0.25) == 0
+        assert trace.rounds_to_fraction(0.5) == 1
+        assert trace.rounds_to_fraction(1.0) == 2
+
+    def test_rounds_to_fraction_unreached(self):
+        trace = make_trace(4, rounds=((1, 0),), complete=False)
+        with pytest.raises(ValueError, match="never"):
+            trace.rounds_to_fraction(1.0)

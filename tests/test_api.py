@@ -1,0 +1,116 @@
+"""Public API surface tests: imports, exports, version, docstrings."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists missing name {name}"
+
+    def test_key_classes_exported(self):
+        for name in (
+            "Adjacency",
+            "RadioNetwork",
+            "Schedule",
+            "BroadcastTrace",
+            "ElsasserGasieniecScheduler",
+            "EGRandomizedProtocol",
+            "DecayProtocol",
+            "simulate_broadcast",
+            "gnp",
+            "gnm",
+        ):
+            assert name in repro.__all__
+
+    def test_quickstart_docstring_works(self):
+        # The example in the package docstring must actually run.
+        from repro import (
+            EGRandomizedProtocol,
+            RadioNetwork,
+            gnp_connected,
+            simulate_broadcast,
+        )
+
+        g = gnp_connected(500, 0.05, seed=1)
+        net = RadioNetwork(g)
+        trace = simulate_broadcast(net, EGRandomizedProtocol(n=500, p=0.05), seed=2)
+        assert trace.completed
+
+
+SUBMODULES = [
+    "repro.graphs",
+    "repro.graphs.adjacency",
+    "repro.graphs.random_graphs",
+    "repro.graphs.families",
+    "repro.graphs.properties",
+    "repro.graphs.bfs",
+    "repro.graphs.layers",
+    "repro.graphs.covering",
+    "repro.graphs.geometric",
+    "repro.radio",
+    "repro.radio.analysis",
+    "repro.gossip",
+    "repro.faults",
+    "repro.theory.stats",
+    "repro.radio.model",
+    "repro.radio.trace",
+    "repro.radio.schedule",
+    "repro.radio.protocol",
+    "repro.radio.simulator",
+    "repro.broadcast",
+    "repro.broadcast.centralized",
+    "repro.broadcast.distributed",
+    "repro.singleport",
+    "repro.lowerbounds",
+    "repro.theory",
+    "repro.experiments",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBMODULES)
+class TestSubmodules:
+    def test_imports_cleanly(self, module_name):
+        mod = importlib.import_module(module_name)
+        assert mod.__doc__, f"{module_name} has no module docstring"
+
+    def test_all_exports_resolve(self, module_name):
+        mod = importlib.import_module(module_name)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module_name}.__all__ lists missing {name}"
+
+
+class TestDocstringCoverage:
+    def test_public_callables_documented(self):
+        import inspect
+
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+            if inspect.isclass(obj):
+                for attr, member in vars(obj).items():
+                    if attr.startswith("_") or not callable(member):
+                        continue
+                    # Accept docs inherited from the interface (ABC) the
+                    # method implements.
+                    doc = member.__doc__ or next(
+                        (
+                            getattr(base, attr).__doc__
+                            for base in obj.__mro__[1:]
+                            if hasattr(base, attr)
+                        ),
+                        None,
+                    )
+                    if not (doc or "").strip():
+                        undocumented.append(f"{name}.{attr}")
+        assert not undocumented, f"undocumented public items: {undocumented}"

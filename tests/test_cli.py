@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_flags(self):
+        args = build_parser().parse_args(["run", "E4", "--full", "--seed", "9"])
+        assert args.experiment == "E4"
+        assert args.full is True
+        assert args.seed == 9
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "E4"])
+        assert args.full is False
+        assert args.seed == 0
+        assert args.markdown is False
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E12" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "E4"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 7" in out
+        assert "benchmarks/" in out
+
+    def test_describe_unknown(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            main(["describe", "E99"])
+
+    def test_run_quick(self, capsys):
+        assert main(["run", "E7", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "[E7]" in out
+        assert "quick mode" in out
+
+    def test_run_markdown(self, capsys):
+        assert main(["run", "E7", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "### E7" in out
+
+    def test_run_all_writes_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        # run-all in quick mode is heavy; keep it to this single test.
+        assert main(["run-all", "--markdown", "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        for i in range(1, 13):
+            assert f"### E{i}" in text
+
+
+class TestRunOut:
+    def test_run_saves_json(self, tmp_path, capsys):
+        out_file = tmp_path / "e7.json"
+        assert main(["run", "E7", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        from repro.io import load_result
+
+        result = load_result(out_file)
+        assert result.experiment_id == "E7"
+        assert "saved to" in capsys.readouterr().out

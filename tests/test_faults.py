@@ -1,0 +1,172 @@
+"""Unit tests for fault models and the faulty-broadcast simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.broadcast.distributed import DecayProtocol, UniformProtocol
+from repro.errors import (
+    BroadcastIncompleteError,
+    DisconnectedGraphError,
+    InvalidParameterError,
+)
+from repro.faults import CrashSchedule, LossyLinkModel, simulate_broadcast_faulty
+from repro.graphs import complete_graph, gnp_connected, star_graph
+from repro.radio import RadioNetwork
+
+
+class TestCrashSchedule:
+    def test_none(self):
+        cs = CrashSchedule.none(5)
+        assert cs.num_crashes() == 0
+        assert np.all(cs.alive_at(100))
+        assert np.all(cs.eventually_alive())
+
+    def test_alive_at_semantics(self):
+        cs = CrashSchedule(np.array([-1, 3, 1]))
+        assert list(cs.alive_at(1)) == [True, True, False]
+        assert list(cs.alive_at(2)) == [True, True, False]
+        assert list(cs.alive_at(3)) == [True, False, False]
+
+    def test_random_respects_protect(self, rng):
+        cs = CrashSchedule.random(50, 1.0, 10, seed=rng, protect=[0, 7])
+        assert cs.crash_round[0] == -1
+        assert cs.crash_round[7] == -1
+        assert cs.num_crashes() == 48
+
+    def test_random_fraction(self, rng):
+        cs = CrashSchedule.random(100, 0.2, 10, seed=rng)
+        assert cs.num_crashes() == 20
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CrashSchedule(np.array([[1]]))
+        with pytest.raises(InvalidParameterError):
+            CrashSchedule(np.array([-2]))
+        with pytest.raises(InvalidParameterError):
+            CrashSchedule.random(10, 1.5, 10)
+        with pytest.raises(InvalidParameterError):
+            CrashSchedule.random(10, 0.5, 0)
+
+
+class TestLossyLinkModel:
+    def test_full_reliability_matches_kernel(self, gnp_small, rng):
+        net = RadioNetwork(gnp_small)
+        links = LossyLinkModel(gnp_small, 1.0)
+        transmitting = rng.random(gnp_small.n) < 0.2
+        informed = np.ones(gnp_small.n, dtype=bool)
+        total, message = links.sample_round_counts(transmitting, transmitting, rng)
+        ref = gnp_small.neighbor_counts(transmitting)
+        assert np.array_equal(total, ref)
+        assert np.array_equal(message, ref)
+
+    def test_zero_ish_reliability_blocks(self, gnp_small, rng):
+        links = LossyLinkModel(gnp_small, 1e-12)
+        transmitting = np.ones(gnp_small.n, dtype=bool)
+        total, _ = links.sample_round_counts(transmitting, transmitting, rng)
+        assert total.sum() == 0
+
+    def test_partial_reliability_thins(self, gnp_small, rng):
+        links = LossyLinkModel(gnp_small, 0.5)
+        transmitting = np.ones(gnp_small.n, dtype=bool)
+        total, _ = links.sample_round_counts(transmitting, transmitting, rng)
+        full = gnp_small.neighbor_counts(transmitting).sum()
+        assert 0.35 * full < total.sum() < 0.65 * full
+
+    def test_asymmetric_mode(self, gnp_small, rng):
+        links = LossyLinkModel(gnp_small, 0.5, asymmetric=True)
+        transmitting = np.ones(gnp_small.n, dtype=bool)
+        total, _ = links.sample_round_counts(transmitting, transmitting, rng)
+        assert total.sum() > 0
+        assert "asymmetric" in repr(links)
+
+    def test_validation(self, gnp_small):
+        with pytest.raises(InvalidParameterError):
+            LossyLinkModel(gnp_small, 0.0)
+        with pytest.raises(InvalidParameterError):
+            LossyLinkModel(gnp_small, 1.1)
+
+
+class TestFaultySimulator:
+    def test_no_faults_equals_normal(self, gnp_medium):
+        from repro.radio import simulate_broadcast
+
+        net = RadioNetwork(gnp_medium)
+        a = simulate_broadcast(net, UniformProtocol(0.1), 0, seed=5)
+        b = simulate_broadcast_faulty(net, UniformProtocol(0.1), 0, seed=5)
+        assert a.completion_round == b.completion_round
+
+    def test_completes_with_crashes(self, gnp_medium):
+        net = RadioNetwork(gnp_medium)
+        crashes = CrashSchedule.random(net.n, 0.15, 40, seed=1, protect=[0])
+        trace = simulate_broadcast_faulty(
+            net, DecayProtocol(net.n), crashes=crashes, seed=2, max_rounds=2000
+        )
+        assert trace.completed
+
+    def test_completes_with_lossy_links(self, gnp_medium):
+        net = RadioNetwork(gnp_medium)
+        links = LossyLinkModel(gnp_medium, 0.6)
+        trace = simulate_broadcast_faulty(
+            net, DecayProtocol(net.n), links=links, seed=3, max_rounds=4000
+        )
+        assert trace.completed
+
+    def test_crashed_nodes_not_required(self, star10):
+        # All leaves except one crash before round 1... protect hub+leaf 1.
+        crash = np.full(10, 1, dtype=np.int64)
+        crash[0] = -1
+        crash[1] = -1
+        net = RadioNetwork(star10)
+        trace = simulate_broadcast_faulty(
+            net, UniformProtocol(1.0), 0,
+            crashes=CrashSchedule(crash), seed=4, max_rounds=50,
+        )
+        assert trace.completed  # only hub and leaf 1 needed
+
+    def test_dead_nodes_never_transmit(self, star10):
+        # Hub crashes at round 1: nobody else can ever be informed.
+        crash = np.full(10, -1, dtype=np.int64)
+        crash[0] = 1
+        trace = simulate_broadcast_faulty(
+            RadioNetwork(star10), UniformProtocol(1.0), 0,
+            crashes=CrashSchedule(crash), seed=5, max_rounds=30,
+            raise_on_incomplete=False,
+        )
+        assert not trace.completed
+
+    def test_raise_on_incomplete(self, star10):
+        crash = np.full(10, -1, dtype=np.int64)
+        crash[0] = 1
+        with pytest.raises(BroadcastIncompleteError):
+            simulate_broadcast_faulty(
+                RadioNetwork(star10), UniformProtocol(1.0), 0,
+                crashes=CrashSchedule(crash), seed=6, max_rounds=30,
+            )
+
+    def test_schedule_size_mismatch(self, star10):
+        with pytest.raises(DisconnectedGraphError, match="covers"):
+            simulate_broadcast_faulty(
+                RadioNetwork(star10), UniformProtocol(1.0), 0,
+                crashes=CrashSchedule.none(9),
+            )
+
+    def test_lossy_slower_on_average(self):
+        n = 256
+        p = 5 * math.log(n) / n
+        g = gnp_connected(n, p, seed=7)
+        net = RadioNetwork(g)
+
+        def mean_time(links):
+            times = []
+            for s in range(5):
+                tr = simulate_broadcast_faulty(
+                    net, DecayProtocol(n), links=links, seed=s, max_rounds=4000
+                )
+                times.append(tr.completion_round)
+            return np.mean(times)
+
+        clean = mean_time(None)
+        lossy = mean_time(LossyLinkModel(g, 0.3))
+        assert lossy > clean

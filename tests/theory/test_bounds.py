@@ -1,0 +1,86 @@
+"""Unit tests for the closed-form bound expressions."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.theory.bounds import (
+    centralized_bound,
+    connectivity_threshold,
+    dense_bound,
+    diameter_estimate,
+    distributed_bound,
+    expected_degree,
+    optimal_centralized_degree,
+)
+
+
+class TestExpressions:
+    def test_expected_degree(self):
+        assert expected_degree(100, 0.1) == pytest.approx(10.0)
+
+    def test_connectivity_threshold(self):
+        assert connectivity_threshold(1000) == pytest.approx(math.log(1000) / 1000)
+
+    def test_diameter_estimate(self):
+        # d = n^(1/3) -> diameter ~ 3.
+        n = 1000
+        assert diameter_estimate(n, 10 / n) == pytest.approx(3.0)
+
+    def test_centralized_bound_decomposition(self):
+        n, p = 1024, 16 / 1024
+        assert centralized_bound(n, p) == pytest.approx(
+            diameter_estimate(n, p) + math.log(16)
+        )
+
+    def test_distributed_bound(self):
+        assert distributed_bound(1024) == pytest.approx(math.log(1024))
+        assert distributed_bound(1024, 0.1) == distributed_bound(1024)
+
+    def test_dense_bound(self):
+        assert dense_bound(1024, 0.5) == pytest.approx(math.log(1024) / math.log(2))
+        # Smaller f -> faster broadcast.
+        assert dense_bound(1024, 0.05) < dense_bound(1024, 0.5)
+
+    def test_optimal_degree_minimises_bound(self):
+        n = 4096
+        d_star = optimal_centralized_degree(n)
+        t_star = centralized_bound(n, d_star / n)
+        for d in (d_star / 4, d_star * 4):
+            assert centralized_bound(n, d / n) >= t_star
+
+    def test_optimal_degree_formula(self):
+        n = 4096
+        assert optimal_centralized_degree(n) == pytest.approx(
+            math.exp(math.sqrt(math.log(n)))
+        )
+
+
+class TestValidation:
+    def test_bad_n(self):
+        for fn in (
+            lambda: expected_degree(1, 0.5),
+            lambda: connectivity_threshold(1),
+            lambda: distributed_bound(1),
+            lambda: dense_bound(1, 0.5),
+            lambda: optimal_centralized_degree(0),
+        ):
+            with pytest.raises(InvalidParameterError):
+                fn()
+
+    def test_bad_p(self):
+        with pytest.raises(InvalidParameterError):
+            expected_degree(100, 0.0)
+        with pytest.raises(InvalidParameterError):
+            expected_degree(100, 1.5)
+        with pytest.raises(InvalidParameterError):
+            diameter_estimate(100, 0.005)  # d <= 1
+        with pytest.raises(InvalidParameterError):
+            centralized_bound(100, 0.005)
+
+    def test_bad_f(self):
+        with pytest.raises(InvalidParameterError):
+            dense_bound(100, 0.0)
+        with pytest.raises(InvalidParameterError):
+            dense_bound(100, 0.6)

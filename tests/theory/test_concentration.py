@@ -1,0 +1,108 @@
+"""Unit tests for the Chernoff helpers (paper Eq. (1))."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.theory.concentration import (
+    binomial_tail_upper,
+    chernoff_lower,
+    chernoff_upper,
+    degree_bounds,
+)
+
+
+class TestChernoffUpper:
+    def test_is_probability(self):
+        for mu in (0.5, 5, 100):
+            for rho in (0.01, 0.5, 3.0):
+                b = chernoff_upper(mu, rho)
+                assert 0.0 <= b <= 1.0
+
+    def test_decreasing_in_rho(self):
+        assert chernoff_upper(50, 1.0) < chernoff_upper(50, 0.1)
+
+    def test_decreasing_in_mu(self):
+        assert chernoff_upper(100, 0.5) < chernoff_upper(10, 0.5)
+
+    def test_mu_zero(self):
+        assert chernoff_upper(0, 1.0) == 1.0
+
+    def test_matches_formula(self):
+        mu, rho = 10.0, 0.5
+        expected = (math.e**rho / (1 + rho) ** (1 + rho)) ** mu
+        assert chernoff_upper(mu, rho) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            chernoff_upper(-1, 0.5)
+        with pytest.raises(InvalidParameterError):
+            chernoff_upper(10, 0.0)
+
+
+class TestChernoffLower:
+    def test_formula(self):
+        assert chernoff_lower(20, 0.5) == pytest.approx(math.exp(-20 * 0.25 / 2))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            chernoff_lower(10, 0.0)
+        with pytest.raises(InvalidParameterError):
+            chernoff_lower(10, 1.0)
+        with pytest.raises(InvalidParameterError):
+            chernoff_lower(-1, 0.5)
+
+
+class TestBinomialTail:
+    def test_vacuous_below_mean(self):
+        assert binomial_tail_upper(100, 0.5, 40) == 1.0
+
+    def test_valid_bound_monte_carlo(self, rng):
+        # Empirical tail frequency must not exceed the bound (it's an
+        # upper bound) by more than Monte Carlo noise.
+        trials, prob, threshold = 100, 0.3, 45
+        bound = binomial_tail_upper(trials, prob, threshold)
+        samples = rng.binomial(trials, prob, size=20000)
+        freq = float(np.mean(samples >= threshold))
+        assert freq <= bound + 3 * math.sqrt(bound * (1 - bound) / 20000 + 1e-9) + 1e-4
+
+    def test_tightens_with_threshold(self):
+        a = binomial_tail_upper(1000, 0.1, 150)
+        b = binomial_tail_upper(1000, 0.1, 250)
+        assert b < a
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            binomial_tail_upper(-1, 0.5, 1)
+        with pytest.raises(InvalidParameterError):
+            binomial_tail_upper(10, 1.5, 1)
+
+
+class TestDegreeBounds:
+    def test_contains_mean(self):
+        lo, hi = degree_bounds(1000, 0.05)
+        mu = 999 * 0.05
+        assert lo < mu < hi
+
+    def test_bounds_actually_hold(self, rng):
+        n, p = 2000, 0.02
+        lo, hi = degree_bounds(n, p, failure=1e-9 / n)
+        # Union bound over n nodes: all degrees in [lo, hi] except w.p. 1e-9.
+        degrees = rng.binomial(n - 1, p, size=n)
+        assert degrees.min() >= lo
+        assert degrees.max() <= hi
+
+    def test_tighter_with_larger_failure(self):
+        lo1, hi1 = degree_bounds(1000, 0.05, failure=1e-3)
+        lo2, hi2 = degree_bounds(1000, 0.05, failure=1e-9)
+        assert lo2 <= lo1 and hi2 >= hi1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            degree_bounds(1, 0.5)
+        with pytest.raises(InvalidParameterError):
+            degree_bounds(100, 0.0)
+        with pytest.raises(InvalidParameterError):
+            degree_bounds(100, 0.5, failure=0.0)

@@ -1,0 +1,89 @@
+"""Unit tests for the scaling-law fitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.theory.fitting import (
+    STANDARD_MODELS,
+    FitResult,
+    compare_models,
+    fit_feature,
+    linear_fit,
+)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        fit = linear_fit(x, 2 * x + 1)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line(self, rng):
+        x = np.linspace(0, 10, 50)
+        y = 3 * x - 2 + rng.normal(0, 0.1, 50)
+        fit = linear_fit(x, y)
+        assert fit.slope == pytest.approx(3.0, abs=0.1)
+        assert fit.r_squared > 0.99
+
+    def test_constant_y(self):
+        x = np.array([1.0, 2.0, 3.0])
+        fit = linear_fit(x, np.full(3, 5.0))
+        assert fit.slope == pytest.approx(0.0, abs=1e-12)
+        assert fit.r_squared == 1.0
+
+    def test_predict(self):
+        fit = FitResult(slope=2.0, intercept=1.0, r_squared=1.0)
+        assert list(fit.predict(np.array([0.0, 1.0]))) == [1.0, 3.0]
+
+    def test_str(self):
+        fit = linear_fit(np.array([1.0, 2.0]), np.array([1.0, 2.0]), "ln n")
+        assert "ln n" in str(fit)
+        assert "R²" in str(fit)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            linear_fit(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(InvalidParameterError):
+            linear_fit(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(InvalidParameterError):
+            linear_fit(np.array([1.0, 2.0]), np.array([[1.0, 2.0]]).T.ravel()[:1])
+
+
+class TestFitFeature:
+    def test_log_feature(self):
+        n = np.array([10.0, 100.0, 1000.0, 10000.0])
+        y = 5 * np.log(n) + 2
+        fit = fit_feature(n, y, np.log, "ln n")
+        assert fit.slope == pytest.approx(5.0)
+        assert fit.feature_name == "ln n"
+
+
+class TestCompareModels:
+    def test_identifies_log_growth(self):
+        n = np.array([64.0, 128, 256, 512, 1024, 2048, 4096, 8192])
+        y = 7 * np.log(n) + 3
+        best, results = compare_models(n, y)
+        assert best == "ln n"
+        assert results["ln n"].r_squared > results["n"].r_squared
+
+    def test_identifies_linear_growth(self):
+        n = np.array([64.0, 128, 256, 512, 1024, 2048])
+        y = 0.5 * n + 10
+        best, _ = compare_models(n, y)
+        assert best == "n"
+
+    def test_custom_models(self):
+        n = np.array([4.0, 16.0, 64.0, 256.0])
+        y = n**2
+        best, _ = compare_models(n, y, {"n^2": lambda x: x**2, "n": lambda x: x})
+        assert best == "n^2"
+
+    def test_empty_models_raises(self):
+        with pytest.raises(InvalidParameterError):
+            compare_models(np.array([1.0, 2.0]), np.array([1.0, 2.0]), {})
+
+    def test_standard_models_cover_paper_laws(self):
+        assert {"ln n", "ln^2 n", "n", "sqrt(n)"} <= set(STANDARD_MODELS)

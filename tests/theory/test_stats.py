@@ -1,0 +1,111 @@
+"""Unit tests for bootstrap CIs, quantiles and threshold estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.theory.stats import (
+    ThresholdFit,
+    bootstrap_ci,
+    estimate_threshold,
+    quantile_summary,
+)
+
+
+class TestBootstrapCI:
+    def test_contains_point_estimate(self, rng):
+        sample = rng.normal(10, 2, size=100)
+        est, lo, hi = bootstrap_ci(sample, seed=1)
+        assert lo <= est <= hi
+        assert est == pytest.approx(sample.mean())
+
+    def test_width_shrinks_with_sample_size(self, rng):
+        small = rng.normal(0, 1, size=10)
+        big = rng.normal(0, 1, size=1000)
+        _, lo_s, hi_s = bootstrap_ci(small, seed=2)
+        _, lo_b, hi_b = bootstrap_ci(big, seed=2)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_coverage_monte_carlo(self):
+        # 95% CI should contain the true mean in most of 40 trials.
+        hits = 0
+        master = np.random.default_rng(3)
+        for _ in range(40):
+            sample = master.normal(5.0, 1.0, size=60)
+            _, lo, hi = bootstrap_ci(sample, seed=master, resamples=500)
+            hits += lo <= 5.0 <= hi
+        assert hits >= 32  # ~95% nominal; allow slack
+
+    def test_custom_statistic(self, rng):
+        sample = rng.normal(0, 1, size=200)
+        est, lo, hi = bootstrap_ci(sample, np.median, seed=4)
+        assert est == pytest.approx(np.median(sample))
+
+    def test_deterministic_given_seed(self, rng):
+        sample = rng.normal(0, 1, size=50)
+        a = bootstrap_ci(sample, seed=5)
+        b = bootstrap_ci(sample, seed=5)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            bootstrap_ci(np.array([1.0]))
+        with pytest.raises(InvalidParameterError):
+            bootstrap_ci(np.array([1.0, 2.0]), confidence=1.5)
+        with pytest.raises(InvalidParameterError):
+            bootstrap_ci(np.array([1.0, 2.0]), resamples=5)
+
+
+class TestQuantileSummary:
+    def test_ordering(self, rng):
+        s = quantile_summary(rng.exponential(1.0, size=5000))
+        assert s["median"] <= s["p90"] <= s["p95"] <= s["p99"] <= s["max"]
+
+    def test_constant_sample(self):
+        s = quantile_summary(np.full(10, 7.0))
+        assert all(v == 7.0 for v in s.values())
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            quantile_summary(np.array([]))
+
+
+class TestThresholdEstimation:
+    def test_recovers_known_threshold(self):
+        x = np.linspace(0, 4, 15)
+        truth = ThresholdFit(location=1.44, steepness=5.0)
+        fit = estimate_threshold(x, truth.predict(x))
+        assert fit.location == pytest.approx(1.44, abs=0.1)
+
+    def test_recovers_from_noisy_data(self, rng):
+        x = np.linspace(0, 3, 12)
+        truth = ThresholdFit(location=1.0, steepness=4.0)
+        noisy = np.clip(truth.predict(x) + rng.normal(0, 0.05, x.size), 0, 1)
+        fit = estimate_threshold(x, noisy)
+        assert fit.location == pytest.approx(1.0, abs=0.3)
+
+    def test_predict_is_monotone_falling(self):
+        fit = ThresholdFit(location=2.0, steepness=3.0)
+        y = fit.predict(np.array([0.0, 1.0, 2.0, 3.0, 4.0]))
+        assert np.all(np.diff(y) < 0)
+        assert y[2] == pytest.approx(0.5)
+
+    def test_str(self):
+        assert "threshold" in str(ThresholdFit(1.0, 2.0))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            estimate_threshold(np.array([1.0, 2.0]), np.array([1.0, 0.0]))
+        with pytest.raises(InvalidParameterError):
+            estimate_threshold(np.array([1.0, 2.0, 3.0]), np.array([1.0, 0.5, 2.0]))
+        with pytest.raises(InvalidParameterError):
+            estimate_threshold(np.array([1.0, 2.0, 3.0]), np.array([1.0, 0.5]))
+
+    def test_e3_survival_data(self):
+        # The actual E3 quick-mode series should locate c* near 1/ln 2.
+        c = np.array([0.25, 0.5, 0.75, 1.0, 1.5, 2.0])
+        prob = np.array([1.0, 1.0, 1.0, 0.85, 0.5, 0.0])
+        fit = estimate_threshold(c, prob)
+        assert fit.location == pytest.approx(1 / math.log(2), abs=0.35)
