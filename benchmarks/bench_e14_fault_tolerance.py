@@ -1,4 +1,4 @@
-"""E14 — fault tolerance: graceful degradation under lossy links + crashes."""
+"""E14 — fault tolerance: graceful degradation under adversarial fault plans."""
 
 import numpy as np
 
@@ -10,15 +10,34 @@ def test_e14_table(benchmark, record_result):
         lambda: run_experiment("E14", quick=True, seed=0), rounds=1, iterations=1
     )
     record_result(result)
-    eg = result.column("eg mean")
-    decay = result.column("decay mean")
-    rel = result.column("link reliability")
-    # At full reliability EG keeps its speed advantage.
-    assert eg[0] < decay[0]
-    # Degradation: EG at the lossiest setting is slower than EG clean.
-    finite_eg = eg[np.isfinite(eg)]
-    assert finite_eg[-1] > finite_eg[0]
-    # Both protocols still succeed at moderate loss (reliability >= 0.5).
-    ok_rows = rel >= 0.5
-    assert np.all(result.column("eg success")[ok_rows] >= 0.8)
-    assert np.all(result.column("decay success")[ok_rows] >= 0.8)
+    scenarios = [r["scenario"] for r in result.rows]
+    eg_mean = result.column("eg mean")
+    decay_mean = result.column("decay mean")
+    eg_ok = result.column("eg success")
+    decay_ok = result.column("decay success")
+    res_ok = result.column("resilient success")
+
+    # Fault-free: EG keeps its speed advantage over Decay, everyone completes.
+    assert scenarios[0] == "fault-free"
+    assert eg_mean[0] < decay_mean[0]
+    assert eg_ok[0] == decay_ok[0] == res_ok[0] == 1.0
+
+    # Benign faults (crashes, mild loss): all three protocols stay reliable.
+    benign = [i for i, s in enumerate(scenarios) if s in ("crashes 10%", "lossy links r=0.9")]
+    for col in (eg_ok, decay_ok, res_ok):
+        assert np.all(col[benign] >= 0.8)
+
+    # Degradation is graceful: EG under mild loss is slower than EG clean
+    # but still finishes.
+    mild = scenarios.index("lossy links r=0.9")
+    assert np.isfinite(eg_mean[mild]) and eg_mean[mild] > eg_mean[0]
+
+    # The headline gap: under forgetful churn the strict Theorem 7 rule
+    # stalls (coverage holes are permanent) while the epoch-restart
+    # wrapper of the *same rule* completes.
+    churn = next(i for i, s in enumerate(scenarios) if s.startswith("churn"))
+    assert res_ok[churn] >= 0.8
+    assert eg_ok[churn] < res_ok[churn]
+
+    # The wrapper never costs success anywhere in the table.
+    assert np.all(res_ok >= eg_ok)

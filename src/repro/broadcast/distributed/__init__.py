@@ -9,6 +9,8 @@ Nodes know only ``n``, ``p`` and the round number; no topology.
 * :class:`UniformProtocol` — a fixed transmit probability every round.
 * :class:`ObliviousProtocol` — arbitrary probability sequence of ``t``
   alone; the class the Theorem 8 lower bound quantifies over.
+* :class:`EpochRestartProtocol` — resilience wrapper re-arming any inner
+  protocol every epoch, so churn-induced coverage holes get re-flooded.
 """
 
 from .adaptive import AgeBasedProtocol
@@ -16,6 +18,7 @@ from .decay import DecayProtocol
 from .deterministic import IdSlotProtocol
 from .eg_randomized import EGRandomizedProtocol
 from .oblivious import ObliviousProtocol
+from .resilient import EpochRestartProtocol
 from .uniform import UniformProtocol
 
 __all__ = [
@@ -25,4 +28,5 @@ __all__ = [
     "ObliviousProtocol",
     "AgeBasedProtocol",
     "IdSlotProtocol",
+    "EpochRestartProtocol",
 ]

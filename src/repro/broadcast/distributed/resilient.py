@@ -1,0 +1,120 @@
+"""Epoch-restarting resilience wrapper for phased protocols.
+
+The Theorem 7 protocol is a *one-shot* schedule: a flood phase, one
+``n/d^D``-selective round, then ``1/d``-selective rounds restricted (in
+the paper's strict form) to nodes informed during the flood.  Under churn
+that schedule stalls: a node that reboots and loses its informed state
+can only be re-informed by the thinning selective rounds — and with
+strict participation, only by neighbours informed in the long-gone flood
+phase.  Once every fresh transmitter near a hole has churned away, the
+hole is permanent and the run burns its whole round budget.
+
+:class:`EpochRestartProtocol` is the classic fix: re-arm the schedule.
+Time is cut into epochs of ``epoch_length`` rounds; inside each epoch the
+inner protocol sees a *local* clock (round 1 at the epoch boundary) and
+*re-based* informed ages — every node informed before the epoch counts as
+informed at its start.  Each epoch therefore replays the inner protocol
+from scratch over the current informed set: the flood phase re-saturates
+coverage holes left by churn, and the selective phase finishes the
+remainder.  The stock protocol is the single-epoch special case
+(``epoch_length = ∞``).
+
+Experiment E14 and the churn acceptance test measure the gap: under
+forget-on-recovery churn the strict Theorem 7 protocol exceeds its round
+budget while the epoch-restarting wrapper completes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..._typing import BoolArray, IntArray
+from ...errors import InvalidParameterError
+from ...radio.protocol import RadioProtocol
+from .eg_randomized import EGRandomizedProtocol
+
+__all__ = ["EpochRestartProtocol"]
+
+
+class EpochRestartProtocol(RadioProtocol):
+    """Run ``inner`` on a clock that restarts every ``epoch_length`` rounds.
+
+    In epoch ``e`` (rounds ``e*L + 1 .. (e+1)*L``) the inner protocol is
+    called with local round ``t - e*L`` and with ``informed_round``
+    re-based to the epoch: nodes informed at or before the epoch boundary
+    appear informed "at round 0", nodes informed inside the epoch keep
+    their local age.  Any stateless-in-``prepare`` protocol can be
+    wrapped; age-based and strict-participation rules regain their
+    freshness assumptions at every epoch boundary.
+
+    Parameters
+    ----------
+    inner: the protocol to re-arm each epoch.
+    epoch_length: rounds per epoch (``>= 1``).
+    """
+
+    def __init__(self, inner: RadioProtocol, epoch_length: int):
+        if epoch_length < 1:
+            raise InvalidParameterError(
+                f"epoch_length must be >= 1, got {epoch_length}"
+            )
+        self.inner = inner
+        self.epoch_length = int(epoch_length)
+        self.name = f"epoch-restart({inner.name}, L={self.epoch_length})"
+
+    @classmethod
+    def for_eg(
+        cls,
+        n: int,
+        p: float,
+        *,
+        selective_rounds: int | None = None,
+        **eg_kwargs,
+    ) -> "EpochRestartProtocol":
+        """Wrap a Theorem 7 protocol with a matched epoch length.
+
+        The epoch covers the full schedule — the ``D``-round flood, the
+        switch round, and ``selective_rounds`` of ``1/d``-selective
+        spreading (default ``4⌈ln n⌉``, comfortably past the theorem's
+        completion point), so a healthy run finishes inside epoch one and
+        the wrapper only ever matters under faults.
+        """
+        inner = EGRandomizedProtocol(n, p, **eg_kwargs)
+        if selective_rounds is None:
+            selective_rounds = 4 * math.ceil(math.log(n))
+        if selective_rounds < 1:
+            raise InvalidParameterError(
+                f"selective_rounds must be >= 1, got {selective_rounds}"
+            )
+        return cls(inner, inner.switch_round + selective_rounds)
+
+    def prepare(self, n: int, p: float | None, source: int) -> None:
+        self.inner.prepare(n, p, source)
+
+    def epoch_of(self, t: int) -> int:
+        """0-based epoch index of (1-indexed) round ``t``."""
+        if t < 1:
+            raise InvalidParameterError(f"round index must be >= 1, got {t}")
+        return (t - 1) // self.epoch_length
+
+    def transmit_mask(
+        self,
+        t: int,
+        informed: BoolArray,
+        informed_round: IntArray,
+        rng: np.random.Generator,
+    ) -> BoolArray:
+        epoch_start = self.epoch_of(t) * self.epoch_length
+        t_local = t - epoch_start
+        local_round = informed_round.copy()
+        known = informed_round >= 0
+        local_round[known] = np.maximum(informed_round[known] - epoch_start, 0)
+        return self.inner.transmit_mask(t_local, informed, local_round, rng)
+
+    def __repr__(self) -> str:
+        return (
+            f"EpochRestartProtocol(inner={self.inner!r}, "
+            f"epoch_length={self.epoch_length})"
+        )

@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro describe E4
     python -m repro run E4 --full --seed 7
+    python -m repro run E14 --checkpoint ckpt/ --resume
     python -m repro run-all --quick --out results.md
 """
 
@@ -41,13 +42,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0, help="root RNG seed")
     p_run.add_argument("--markdown", action="store_true", help="emit markdown instead of ASCII")
     p_run.add_argument("--out", default=None, help="also save the result as JSON to this path")
+    _add_sweep_flags(p_run)
 
     p_all = sub.add_parser("run-all", help="run every experiment in catalog order")
     p_all.add_argument("--full", action="store_true", help="full-size sweeps (slow)")
     p_all.add_argument("--seed", type=int, default=0, help="root RNG seed")
     p_all.add_argument("--markdown", action="store_true", help="emit markdown instead of ASCII")
     p_all.add_argument("--out", default=None, help="also write the report to this file")
+    _add_sweep_flags(p_all)
     return parser
+
+
+def _add_sweep_flags(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for per-sweep JSON checkpoints; honoured by "
+            "sweep-style experiments (currently E14), ignored by the rest"
+        ),
+    )
+    sub_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip trials already recorded in --checkpoint files",
+    )
 
 
 def _render(result, markdown: bool) -> str:
@@ -71,8 +91,24 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
+        if args.resume and not args.checkpoint:
+            print("--resume requires --checkpoint", file=sys.stderr)
+            return 2
+        spec = get_experiment(args.experiment)
+        if args.checkpoint and "checkpoint" not in spec.supported_options():
+            print(
+                f"note: {spec.experiment_id} does not support checkpointing; "
+                "--checkpoint/--resume ignored",
+                file=sys.stderr,
+            )
         start = time.perf_counter()
-        result = run_experiment(args.experiment, quick=not args.full, seed=args.seed)
+        result = run_experiment(
+            args.experiment,
+            quick=not args.full,
+            seed=args.seed,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
         elapsed = time.perf_counter() - start
         print(_render(result, args.markdown))
         print(f"\n({'full' if args.full else 'quick'} mode, {elapsed:.1f}s)")
@@ -84,10 +120,18 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run-all":
+        if args.resume and not args.checkpoint:
+            print("--resume requires --checkpoint", file=sys.stderr)
+            return 2
         chunks = []
         for spec in EXPERIMENTS.values():
             start = time.perf_counter()
-            result = spec(quick=not args.full, seed=args.seed)
+            result = spec(
+                quick=not args.full,
+                seed=args.seed,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
             elapsed = time.perf_counter() - start
             chunk = _render(result, args.markdown)
             print(chunk)

@@ -10,10 +10,22 @@ claim (see DESIGN.md §4 for the index).  Usage::
 
 The benchmark files under ``benchmarks/`` and the CLI both route through
 :func:`run_experiment`.
+
+Long fault sweeps run on the resilient engine
+(:func:`~repro.experiments.resilient.run_resilient_sweep`): per-trial
+retry with fresh derived seeds, JSON checkpoint/resume, and structured
+failure records instead of aborted tables.
 """
 
 from .catalog import EXPERIMENTS, get_experiment, run_experiment
 from .report import format_markdown_table, format_table
+from .resilient import (
+    SweepCheckpoint,
+    SweepResult,
+    TrialOutcome,
+    TrialRecord,
+    run_resilient_sweep,
+)
 from .runner import ExperimentResult, aggregate
 
 __all__ = [
@@ -24,4 +36,9 @@ __all__ = [
     "aggregate",
     "format_table",
     "format_markdown_table",
+    "run_resilient_sweep",
+    "SweepResult",
+    "SweepCheckpoint",
+    "TrialRecord",
+    "TrialOutcome",
 ]

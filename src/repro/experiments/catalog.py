@@ -6,6 +6,7 @@ claims, and bench targets — DESIGN.md §4 in executable form.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable
 
@@ -27,8 +28,31 @@ class ExperimentSpec:
     bench_target: str
     run: Callable[..., ExperimentResult]
 
-    def __call__(self, quick: bool = True, seed: SeedLike = 0) -> ExperimentResult:
-        return self.run(quick=quick, seed=seed)
+    def supported_options(self) -> frozenset[str]:
+        """Optional keyword arguments this experiment's runner accepts.
+
+        Sweep-style experiments (currently E14) take ``checkpoint`` and
+        ``resume``; the rest only take ``quick`` and ``seed``.
+        """
+        params = inspect.signature(self.run).parameters
+        return frozenset(
+            name
+            for name, param in params.items()
+            if param.kind in (param.KEYWORD_ONLY, param.POSITIONAL_OR_KEYWORD)
+        ) - {"quick", "seed"}
+
+    def __call__(
+        self, quick: bool = True, seed: SeedLike = 0, **options
+    ) -> ExperimentResult:
+        """Run the experiment, forwarding only the options it supports.
+
+        Unsupported options are dropped silently so ``run-all`` can offer
+        ``--checkpoint``/``--resume`` across a catalog where only some
+        experiments are checkpointable.
+        """
+        supported = self.supported_options()
+        extra = {k: v for k, v in options.items() if k in supported}
+        return self.run(quick=quick, seed=seed, **extra)
 
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {
@@ -128,7 +152,7 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
         ExperimentSpec(
             "E14",
             "Fault tolerance",
-            "Extension: graceful degradation under crashes and lossy links",
+            "Extension: graceful degradation under crashes, lossy links, jamming, churn and noise; epoch-restart rescues the strict rule",
             "benchmarks/bench_e14_fault_tolerance.py",
             exp_extensions.e14_fault_tolerance,
         ),
@@ -210,7 +234,18 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
 
 
 def run_experiment(
-    experiment_id: str, *, quick: bool = True, seed: SeedLike = 0
+    experiment_id: str,
+    *,
+    quick: bool = True,
+    seed: SeedLike = 0,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ) -> ExperimentResult:
-    """Run one catalogued experiment and return its result."""
-    return get_experiment(experiment_id)(quick=quick, seed=seed)
+    """Run one catalogued experiment and return its result.
+
+    ``checkpoint``/``resume`` reach only experiments whose runner accepts
+    them (see :meth:`ExperimentSpec.supported_options`).
+    """
+    return get_experiment(experiment_id)(
+        quick=quick, seed=seed, checkpoint=checkpoint, resume=resume
+    )

@@ -20,6 +20,8 @@ def format_value(value: Any, float_digits: int = 3) -> str:
     if isinstance(value, float):
         if value != value:  # NaN
             return "nan"
+        if value == float("inf") or value == float("-inf"):
+            return "inf" if value > 0 else "-inf"
         if value == int(value) and abs(value) < 1e15:
             return str(int(value))
         return f"{value:.{float_digits}g}"

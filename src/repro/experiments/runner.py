@@ -11,7 +11,7 @@ from .._typing import SeedLike
 from ..errors import BroadcastIncompleteError
 from ..radio.model import RadioNetwork
 from ..radio.protocol import RadioProtocol
-from ..radio.simulator import broadcast_time
+from ..radio.simulator import simulate_broadcast
 from ..rng import spawn_generators
 from ..theory.fitting import FitResult
 from .report import format_markdown_table, format_table
@@ -82,16 +82,29 @@ class ExperimentResult:
 
 
 def aggregate(values) -> dict[str, float]:
-    """Mean/std/min/max summary of a sample of measurements."""
+    """Mean/std/min/max summary of a sample of measurements.
+
+    Non-finite entries (``inf`` for budget misses, ``NaN`` for missing
+    data) are tolerated: statistics are computed over the finite subset,
+    and an all-failed sample yields NaN statistics plus the counts —
+    instead of raising — so a degraded sweep still aggregates.
+    """
     arr = np.asarray(values, dtype=float)
     if arr.size == 0:
         raise ValueError("cannot aggregate an empty sample")
-    return {
-        "mean": float(arr.mean()),
-        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
-        "min": float(arr.min()),
-        "max": float(arr.max()),
-    }
+    finite = arr[np.isfinite(arr)]
+    if finite.size:
+        stats = {
+            "mean": float(finite.mean()),
+            "std": float(finite.std(ddof=1)) if finite.size > 1 else 0.0,
+            "min": float(finite.min()),
+            "max": float(finite.max()),
+        }
+    else:
+        stats = {"mean": np.nan, "std": np.nan, "min": np.nan, "max": np.nan}
+    stats["count"] = int(arr.size)
+    stats["num_nonfinite"] = int(arr.size - finite.size)
+    return stats
 
 
 def protocol_times(
@@ -103,16 +116,38 @@ def protocol_times(
     source: int = 0,
     max_rounds: int | None = None,
     p: float | None = None,
-) -> np.ndarray:
-    """Completion times over repetitions; ``inf`` entries for budget misses."""
+    check_connected: bool = True,
+    with_fractions: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Completion times over repetitions; ``inf`` entries for budget misses.
+
+    With ``with_fractions=True`` also returns the per-trial final informed
+    fraction (1.0 for completed runs), so failed trials record how far the
+    broadcast got instead of collapsing to an opaque ``inf``.
+    ``check_connected=False`` skips the per-trial reachability BFS —
+    sweeps over one fixed connected graph should verify once upfront.
+    """
     out = np.empty(repetitions, dtype=float)
+    fractions = np.empty(repetitions, dtype=float)
+    n = network.n
     for i, rng in enumerate(spawn_generators(seed, repetitions)):
         try:
-            out[i] = broadcast_time(
-                network, protocol, source, seed=rng, max_rounds=max_rounds, p=p
+            trace = simulate_broadcast(
+                network,
+                protocol,
+                source,
+                seed=rng,
+                max_rounds=max_rounds,
+                p=p,
+                check_connected=check_connected,
             )
-        except BroadcastIncompleteError:
+            out[i] = trace.completion_round
+            fractions[i] = 1.0
+        except BroadcastIncompleteError as exc:
             out[i] = np.inf
+            fractions[i] = exc.trace.num_informed / n if exc.trace is not None else 0.0
+    if with_fractions:
+        return out, fractions
     return out
 
 

@@ -1,21 +1,44 @@
-"""Fault injection: crash faults and lossy links for robustness studies.
+"""Fault injection: composable fault models for robustness studies.
 
 The paper analyses a fault-free channel; a deployable broadcast stack has
-to survive node crashes and link outages.  This subpackage wraps the
-radio substrate with two orthogonal fault models:
+to survive crashes, outages and hostile interference.  This subpackage
+wraps the radio substrate with five composable fault models:
 
 * :class:`~repro.faults.models.CrashSchedule` — nodes crash-stop at
   pre-sampled rounds (they stop transmitting *and* receiving);
 * :class:`~repro.faults.models.LossyLinkModel` — each edge is
   independently down in each round with probability ``1 - reliability``
-  (optionally per-direction, modelling asymmetric fading).
+  (optionally per-direction, modelling asymmetric fading);
+* :class:`~repro.faults.adversaries.ChurnSchedule` — crash-and-recover
+  intervals; a recovered node optionally rejoins uninformed;
+* :class:`~repro.faults.adversaries.AdversarialJammer` — ``k`` jamming
+  transmitters per round (random or degree-targeted) injecting
+  collisions at listeners;
+* :class:`~repro.faults.adversaries.SpuriousNoiseModel` — Byzantine
+  nodes transmitting garbage with probability ``q``.
 
-:func:`~repro.faults.simulator.simulate_broadcast_faulty` runs any
-distributed protocol under both models; experiment E14 measures which
-protocol's redundancy pays for itself as reliability degrades.
+A :class:`~repro.faults.plan.FaultPlan` bundles any subset; the unified
+round engine (:mod:`repro.radio.engine`) consumes the plan, so
+:func:`~repro.faults.simulator.simulate_broadcast_faulty` and the healthy
+``simulate_broadcast`` share one code path.  Experiment E14 measures
+which protocol's redundancy pays for itself under each adversary; the
+resilient sweep runner (:mod:`repro.experiments.resilient`) keeps long
+fault sweeps alive through per-trial failures.
+
+See docs/FAULTS.md for the precise per-round semantics.
 """
 
+from .adversaries import AdversarialJammer, ChurnSchedule, SpuriousNoiseModel
 from .models import CrashSchedule, LossyLinkModel
+from .plan import FaultPlan
 from .simulator import simulate_broadcast_faulty
 
-__all__ = ["CrashSchedule", "LossyLinkModel", "simulate_broadcast_faulty"]
+__all__ = [
+    "AdversarialJammer",
+    "ChurnSchedule",
+    "CrashSchedule",
+    "FaultPlan",
+    "LossyLinkModel",
+    "SpuriousNoiseModel",
+    "simulate_broadcast_faulty",
+]

@@ -1,0 +1,360 @@
+"""Adversarial fault models: jammers, churn, and spurious-noise nodes.
+
+The crash + lossy-link pair in :mod:`repro.faults.models` covers *benign*
+failures.  This module adds the hostile interference environments studied
+in the collision-detection / jamming literature (Ghaffari–Haeupler–
+Khabbazian, arXiv:1404.0780; Czumaj–Davies, arXiv:1506.00853):
+
+* :class:`AdversarialJammer` — ``k`` jamming transmitters per round.
+  A jammer occupies the channel in its whole neighbourhood: any listener
+  that also hears a real transmission collides, and a listener adjacent
+  to two jammers hears only noise.  Variants: fresh random jammers each
+  round, or a fixed set of the ``k`` highest-degree nodes (the strongest
+  positional adversary at this budget).
+* :class:`ChurnSchedule` — crash-and-recover intervals.  A node is down
+  for ``[start, end]``; on recovery it either rejoins with its informed
+  state intact or *uninformed* (``forget_on_recovery``), modelling a
+  reboot that loses volatile state.
+* :class:`SpuriousNoiseModel` — Byzantine nodes that transmit garbage
+  with probability ``q`` each round.  Their transmissions carry no
+  message even when the node is informed, but they collide with real
+  deliveries exactly like any other transmission.
+
+All three are consumed through :class:`repro.faults.FaultPlan`; each
+exposes a small per-round interface (``alive_at`` / ``forget_at`` /
+``garbage_mask``-style hooks) so the unified round engine in
+:mod:`repro.radio.engine` stays model-agnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._typing import BoolArray, IntArray, SeedLike
+from ..errors import InvalidParameterError
+from ..graphs.adjacency import Adjacency
+from ..rng import as_generator
+
+__all__ = ["AdversarialJammer", "ChurnSchedule", "SpuriousNoiseModel"]
+
+
+class AdversarialJammer:
+    """``k`` jamming transmitters per round.
+
+    Each active jammer transmits noise: its transmission contributes to
+    every neighbouring listener's arrival count (so it collides with real
+    deliveries) but never carries the message.  Jammed nodes do not run
+    the protocol while jamming — a jammer's own slot is wasted even if it
+    happens to be informed.
+
+    Parameters
+    ----------
+    adj: the network topology (used for ``n`` and degree targeting).
+    k: jamming budget per round (``0`` disables the adversary).
+    strategy:
+        ``"random"`` — ``k`` fresh uniform-random jammers every round
+        (drawn from the run's RNG stream, so each trial sees a different
+        jamming pattern);
+        ``"degree"`` — the ``k`` highest-degree nodes jam every round
+        (a fixed, positionally strongest adversary).
+    active_probability:
+        Probability that each selected jammer actually fires in a given
+        round (``1.0`` = always on).
+    exclude:
+        Node ids the adversary may not occupy (typically the source;
+        a jammed source before round 1 makes every run vacuous).
+    """
+
+    def __init__(
+        self,
+        adj: Adjacency,
+        k: int,
+        *,
+        strategy: str = "random",
+        active_probability: float = 1.0,
+        exclude: IntArray | list[int] = (),
+    ):
+        if k < 0:
+            raise InvalidParameterError(f"jamming budget k must be >= 0, got {k}")
+        if strategy not in ("random", "degree"):
+            raise InvalidParameterError(
+                f"strategy must be 'random' or 'degree', got {strategy!r}"
+            )
+        if not 0.0 <= active_probability <= 1.0:
+            raise InvalidParameterError(
+                f"active_probability must lie in [0, 1], got {active_probability}"
+            )
+        self.n = adj.n
+        self.strategy = strategy
+        self.active_probability = active_probability
+        eligible = np.setdiff1d(
+            np.arange(self.n, dtype=np.int64), np.asarray(exclude, dtype=np.int64)
+        )
+        self.k = min(k, eligible.size)
+        self._eligible = eligible
+        if strategy == "degree":
+            # Fixed set: the k busiest neighbourhoods.
+            order = np.argsort(adj.degrees[eligible])[::-1]
+            self._fixed = np.sort(eligible[order[: self.k]])
+        else:
+            self._fixed = None
+
+    @property
+    def is_null(self) -> bool:
+        """True when the adversary can never jam anything."""
+        return self.k == 0 or self.active_probability == 0.0
+
+    def jam_mask(self, t: int, rng: np.random.Generator) -> BoolArray:
+        """Mask of nodes jamming in round ``t``."""
+        jammers = (
+            self._fixed
+            if self._fixed is not None
+            else rng.choice(self._eligible, size=self.k, replace=False)
+        )
+        mask = np.zeros(self.n, dtype=bool)
+        mask[jammers] = True
+        if self.active_probability < 1.0:
+            mask &= rng.random(self.n) < self.active_probability
+        return mask
+
+    def __repr__(self) -> str:
+        return (
+            f"AdversarialJammer(k={self.k}, strategy={self.strategy!r}, "
+            f"active_probability={self.active_probability:g})"
+        )
+
+
+class ChurnSchedule:
+    """Crash-and-recover intervals: node ``v`` is down during ``[start, end]``.
+
+    Intervals are inclusive on both ends and 1-indexed like rounds; an
+    ``end`` of ``-1`` means the node never recovers (equivalent to a
+    crash-stop fault).  While down a node neither transmits nor listens
+    (its radio is off, so it stops colliding too).
+
+    On the round *after* an interval ends the node rejoins; with
+    ``forget_on_recovery=True`` (the default) it rejoins **uninformed** —
+    the reboot lost its volatile state and the protocol must reach it
+    again.  With ``False`` it resumes with whatever it knew.
+
+    Parameters
+    ----------
+    n: network size.
+    intervals: array-like of ``(node, start, end)`` rows.  Intervals for
+        the same node must not overlap or touch.
+    forget_on_recovery: whether recovery resets the node's informed state.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        intervals,
+        *,
+        forget_on_recovery: bool = True,
+    ):
+        arr = np.asarray(list(intervals) if not isinstance(intervals, np.ndarray) else intervals, dtype=np.int64)
+        if arr.size == 0:
+            arr = arr.reshape(0, 3)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise InvalidParameterError(
+                f"intervals must have shape (m, 3) of (node, start, end) rows, got {arr.shape}"
+            )
+        if arr.size:
+            if arr[:, 0].min() < 0 or arr[:, 0].max() >= n:
+                raise InvalidParameterError(
+                    f"interval node id out of range [0, {n})"
+                )
+            if np.any(arr[:, 1] < 1):
+                raise InvalidParameterError("interval starts must be >= 1 (rounds are 1-indexed)")
+            finite = arr[:, 2] >= 0
+            if np.any(arr[finite, 2] < arr[finite, 1]):
+                raise InvalidParameterError("interval end must be >= start (or -1 for never)")
+            if np.any(arr[~finite, 2] < -1):
+                raise InvalidParameterError("interval end must be >= start or exactly -1")
+        self.n = n
+        self.intervals: IntArray = arr
+        self.forget_on_recovery = forget_on_recovery
+        self._check_no_overlap()
+
+    def _check_no_overlap(self) -> None:
+        order = np.lexsort((self.intervals[:, 1], self.intervals[:, 0]))
+        rows = self.intervals[order]
+        for a, b in zip(rows, rows[1:]):
+            if a[0] != b[0]:
+                continue
+            a_end = np.iinfo(np.int64).max if a[2] < 0 else a[2]
+            if b[1] <= a_end:
+                raise InvalidParameterError(
+                    f"overlapping churn intervals for node {int(a[0])}"
+                )
+
+    @classmethod
+    def none(cls, n: int) -> "ChurnSchedule":
+        """No churn."""
+        return cls(n, np.empty((0, 3), dtype=np.int64))
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        churn_fraction: float,
+        max_round: int,
+        *,
+        mean_downtime: float = 8.0,
+        forget_on_recovery: bool = True,
+        seed: SeedLike = None,
+        protect: IntArray | list[int] = (),
+    ) -> "ChurnSchedule":
+        """One random down-interval for a random fraction of nodes.
+
+        Interval starts are uniform on ``[1, max_round]``; durations are
+        geometric with the given mean (min 1 round).  ``protect`` lists
+        nodes that never churn (typically the source).
+        """
+        if not 0.0 <= churn_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"churn_fraction must lie in [0, 1], got {churn_fraction}"
+            )
+        if max_round < 1:
+            raise InvalidParameterError(f"max_round must be >= 1, got {max_round}")
+        if mean_downtime < 1.0:
+            raise InvalidParameterError(
+                f"mean_downtime must be >= 1, got {mean_downtime}"
+            )
+        rng = as_generator(seed)
+        eligible = np.setdiff1d(
+            np.arange(n, dtype=np.int64), np.asarray(protect, dtype=np.int64)
+        )
+        k = int(round(churn_fraction * eligible.size))
+        if k == 0:
+            return cls.none(n)
+        victims = rng.choice(eligible, size=k, replace=False)
+        starts = rng.integers(1, max_round + 1, size=k)
+        durations = rng.geometric(min(1.0, 1.0 / mean_downtime), size=k)
+        ends = starts + durations - 1
+        intervals = np.stack([victims, starts, ends], axis=1)
+        return cls(n, intervals, forget_on_recovery=forget_on_recovery)
+
+    @property
+    def is_null(self) -> bool:
+        """True when no node ever goes down."""
+        return self.intervals.shape[0] == 0
+
+    def num_churning(self) -> int:
+        """Number of distinct nodes with at least one down-interval."""
+        return int(np.unique(self.intervals[:, 0]).size) if self.intervals.size else 0
+
+    def alive_at(self, t: int) -> BoolArray:
+        """Mask of nodes up in round ``t`` (1-indexed)."""
+        mask = np.ones(self.n, dtype=bool)
+        if self.intervals.size:
+            node, start, end = self.intervals.T
+            down = (start <= t) & ((end < 0) | (t <= end))
+            mask[node[down]] = False
+        return mask
+
+    def rejoining_at(self, t: int) -> IntArray:
+        """Ids of nodes whose down-interval ended in round ``t - 1``."""
+        if not self.intervals.size:
+            return np.empty(0, dtype=np.int64)
+        ends = self.intervals[:, 2]
+        return np.unique(self.intervals[ends == t - 1, 0])
+
+    def forget_at(self, t: int) -> IntArray:
+        """Ids of nodes that rejoin **uninformed** in round ``t``."""
+        if not self.forget_on_recovery:
+            return np.empty(0, dtype=np.int64)
+        return self.rejoining_at(t)
+
+    def eventually_alive(self) -> BoolArray:
+        """Nodes that are up from some round onward (the completion target)."""
+        mask = np.ones(self.n, dtype=bool)
+        if self.intervals.size:
+            never_back = self.intervals[:, 2] < 0
+            mask[self.intervals[never_back, 0]] = False
+        return mask
+
+    def __repr__(self) -> str:
+        mode = "forget" if self.forget_on_recovery else "retain"
+        return (
+            f"ChurnSchedule(n={self.n}, intervals={self.intervals.shape[0]}, "
+            f"recovery={mode})"
+        )
+
+
+class SpuriousNoiseModel:
+    """Byzantine nodes that transmit garbage with probability ``q``.
+
+    Each round, every Byzantine node independently fires with probability
+    ``q``.  A firing node's transmission occupies the channel in its whole
+    neighbourhood — colliding with real deliveries — but carries no
+    message, *even if the node is informed* (a Byzantine node corrupts its
+    own payload).
+
+    Parameters
+    ----------
+    n: network size.
+    byzantine: node ids (or a boolean mask) of the Byzantine set.
+    q: per-round garbage-transmission probability.
+    """
+
+    def __init__(self, n: int, byzantine, q: float):
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"q must lie in [0, 1], got {q}")
+        byz = np.asarray(byzantine)
+        mask = np.zeros(n, dtype=bool)
+        if byz.dtype == np.bool_:
+            if byz.shape != (n,):
+                raise InvalidParameterError(
+                    f"byzantine mask must have shape ({n},), got {byz.shape}"
+                )
+            mask = byz.copy()
+        elif byz.size:
+            ids = byz.astype(np.int64).ravel()
+            if ids.min() < 0 or ids.max() >= n:
+                raise InvalidParameterError(f"byzantine id out of range [0, {n})")
+            mask[ids] = True
+        self.n = n
+        self.byzantine: BoolArray = mask
+        self.q = q
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        fraction: float,
+        q: float,
+        *,
+        seed: SeedLike = None,
+        protect: IntArray | list[int] = (),
+    ) -> "SpuriousNoiseModel":
+        """A random Byzantine set of the given fraction of nodes."""
+        if not 0.0 <= fraction <= 1.0:
+            raise InvalidParameterError(
+                f"fraction must lie in [0, 1], got {fraction}"
+            )
+        rng = as_generator(seed)
+        eligible = np.setdiff1d(
+            np.arange(n, dtype=np.int64), np.asarray(protect, dtype=np.int64)
+        )
+        k = int(round(fraction * eligible.size))
+        ids = rng.choice(eligible, size=k, replace=False) if k else np.empty(0, dtype=np.int64)
+        return cls(n, ids, q)
+
+    @property
+    def is_null(self) -> bool:
+        """True when no garbage can ever be transmitted."""
+        return self.q == 0.0 or not bool(self.byzantine.any())
+
+    def num_byzantine(self) -> int:
+        """Size of the Byzantine set."""
+        return int(np.count_nonzero(self.byzantine))
+
+    def noise_mask(self, t: int, rng: np.random.Generator) -> BoolArray:
+        """Mask of Byzantine nodes transmitting garbage in round ``t``."""
+        if self.q >= 1.0:
+            return self.byzantine.copy()
+        return self.byzantine & (rng.random(self.n) < self.q)
+
+    def __repr__(self) -> str:
+        return f"SpuriousNoiseModel(byzantine={self.num_byzantine()}, q={self.q:g})"

@@ -115,7 +115,11 @@ class LossyLinkModel:
         u = self._edges[:, 0]
         v = self._edges[:, 1]
         n = self.adj.n
-        if self.asymmetric:
+        if self.reliability >= 1.0:
+            # Every link is up; draw nothing so a fully reliable model
+            # consumes the same RNG stream as the fault-free kernel.
+            up_uv = up_vu = np.ones(u.size, dtype=bool)
+        elif self.asymmetric:
             up_uv = rng.random(u.size) < self.reliability
             up_vu = rng.random(u.size) < self.reliability
         else:

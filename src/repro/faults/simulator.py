@@ -1,32 +1,36 @@
-"""Broadcast simulation under crash and link faults.
+"""Broadcast simulation under composable fault models.
 
-Semantics per round ``t``:
+Semantics per round ``t`` (implemented by the shared engine in
+:mod:`repro.radio.engine`; docs/FAULTS.md specifies them in prose):
 
-1. nodes with ``crash_round <= t`` are dead: they neither transmit nor
-   listen (their radio is off, so they stop causing collisions too);
-2. the protocol's transmit mask is intersected with alive ∩ informed;
-3. each directed delivery traverses its link only if the link is up this
+1. nodes that are crashed or inside a churn down-interval are dead: they
+   neither transmit nor listen (their radio is off, so they stop causing
+   collisions too);
+2. churned nodes whose down-interval ended in round ``t - 1`` rejoin —
+   uninformed if the schedule forgets on recovery;
+3. the protocol's transmit mask is intersected with alive ∩ informed;
+   jamming and Byzantine-noise transmitters are added as garbage
+   transmissions (they occupy the channel but carry nothing);
+4. each directed delivery traverses its link only if the link is up this
    round (``LossyLinkModel``); the collision rule then applies to the
    transmissions that *arrive*: a listener receives iff exactly one
    transmission reaches it and that one carries the message.
 
-Completion means every *never-crashing* node is informed — nodes that die
-before the message could reach them are not part of the target set.
+Completion means every *eventually-alive* node is informed — nodes that
+die and never recover are not part of the target set.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from .._typing import SeedLike
-from ..errors import BroadcastIncompleteError, DisconnectedGraphError
-from ..graphs.bfs import bfs_distances
+from ..errors import InvalidParameterError
+from ..radio.engine import run_broadcast
 from ..radio.model import RadioNetwork
 from ..radio.protocol import RadioProtocol
-from ..radio.simulator import default_round_cap
-from ..radio.trace import BroadcastTrace, RoundRecord
-from ..rng import as_generator
+from ..radio.trace import BroadcastTrace
+from .adversaries import AdversarialJammer, ChurnSchedule, SpuriousNoiseModel
 from .models import CrashSchedule, LossyLinkModel
+from .plan import FaultPlan
 
 __all__ = ["simulate_broadcast_faulty"]
 
@@ -38,86 +42,50 @@ def simulate_broadcast_faulty(
     *,
     crashes: CrashSchedule | None = None,
     links: LossyLinkModel | None = None,
+    churn: ChurnSchedule | None = None,
+    jammer: AdversarialJammer | None = None,
+    noise: SpuriousNoiseModel | None = None,
+    plan: FaultPlan | None = None,
     p: float | None = None,
     seed: SeedLike = None,
     max_rounds: int | None = None,
+    check_connected: bool = True,
     raise_on_incomplete: bool = True,
 ) -> BroadcastTrace:
     """Run a distributed protocol under the given fault models.
 
+    Fault models may be passed individually (``crashes`` / ``links`` /
+    ``churn`` / ``jammer`` / ``noise``) or pre-bundled as a
+    :class:`~repro.faults.FaultPlan` — not both.  With no faults at all
+    this is exactly :func:`~repro.radio.simulate_broadcast` (same engine,
+    same RNG stream, identical trace).
+
     Returns a :class:`BroadcastTrace`; ``trace.completed`` refers to the
-    *surviving* target set (never-crashing nodes).  With
-    ``raise_on_incomplete=False`` a budget miss returns the partial trace
-    instead of raising — E14 uses that to measure completion probability.
+    *eventually-alive* target set.  With ``raise_on_incomplete=False`` a
+    budget miss returns the partial trace instead of raising — E14 and
+    the resilient sweep runner use that to record structured failures.
+
+    ``check_connected=False`` skips the up-front ``O(n + m)`` BFS
+    reachability check — sweeps running many trials on one fixed graph
+    should verify connectivity once and skip it per trial.
     """
-    n = network.n
-    if not 0 <= source < n:
-        raise DisconnectedGraphError(f"source {source} out of range [0, {n})")
-    if crashes is None:
-        crashes = CrashSchedule.none(n)
-    if crashes.n != n:
-        raise DisconnectedGraphError(
-            f"crash schedule covers {crashes.n} nodes, network has {n}"
-        )
-    if np.any(bfs_distances(network.adj, source) < 0):
-        raise DisconnectedGraphError(
-            f"not all nodes reachable from source {source}"
-        )
-    if max_rounds is None:
-        max_rounds = default_round_cap(n)
-    rng = as_generator(seed)
-    protocol.prepare(n, p, source)
-    informed = np.zeros(n, dtype=bool)
-    informed[source] = True
-    informed_round = np.full(n, -1, dtype=np.int64)
-    informed_round[source] = 0
-    target = crashes.eventually_alive()
-    trace = BroadcastTrace(source=source, n=n)
-
-    def done() -> bool:
-        return bool(np.all(informed[target]))
-
-    for t in range(1, max_rounds + 1):
-        if done():
-            break
-        alive = crashes.alive_at(t)
-        mask = np.asarray(
-            protocol.transmit_mask(t, informed, informed_round, rng), dtype=bool
-        )
-        mask &= informed & alive
-        carrying = mask  # transmitters are informed by construction
-        if links is None:
-            result = network.step(mask, informed)
-            received = result.received & alive
-            total_collided = result.num_collided
-        else:
-            total, message = links.sample_round_counts(mask, carrying, rng)
-            listening = ~mask & alive
-            received = listening & (total == 1) & (message == 1)
-            total_collided = int(np.count_nonzero(listening & (total >= 2)))
-        new = np.flatnonzero(received & ~informed).astype(np.int64)
-        informed[new] = True
-        informed_round[new] = t
-        trace.records.append(
-            RoundRecord(
-                round_index=t,
-                num_transmitters=int(np.count_nonzero(mask)),
-                num_new=int(new.size),
-                num_collided=total_collided,
-                informed_after=int(np.count_nonzero(informed)),
+    if plan is not None:
+        if any(m is not None for m in (crashes, links, churn, jammer, noise)):
+            raise InvalidParameterError(
+                "pass either a FaultPlan or individual fault models, not both"
             )
+    else:
+        plan = FaultPlan(
+            crashes=crashes, links=links, churn=churn, jammer=jammer, noise=noise
         )
-    # Report completion relative to the surviving target set: mark the
-    # trace complete by filling crashed nodes as "informed" if all
-    # survivors are (they are outside the deliverable set).
-    finished = done()
-    trace.informed = informed | (~target if finished else np.zeros(n, dtype=bool))
-    trace.informed_round = informed_round
-    if not finished and raise_on_incomplete:
-        raise BroadcastIncompleteError(
-            f"{protocol.name}: {int(np.count_nonzero(informed[target]))}/"
-            f"{int(np.count_nonzero(target))} surviving nodes informed "
-            f"after {max_rounds} rounds",
-            trace=trace,
-        )
-    return trace
+    return run_broadcast(
+        network,
+        protocol,
+        source,
+        plan=plan,
+        p=p,
+        seed=seed,
+        max_rounds=max_rounds,
+        check_connected=check_connected,
+        raise_on_incomplete=raise_on_incomplete,
+    )

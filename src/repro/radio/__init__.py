@@ -11,7 +11,10 @@ Nodes get no collision detection feedback.
   schedules produced by centralized algorithms, plus executor/verifier.
 * :class:`~repro.radio.protocol.RadioProtocol` — distributed protocols as
   per-round transmit-probability rules over local knowledge.
-* :func:`~repro.radio.simulator.simulate_broadcast` — the driver loop.
+* :func:`~repro.radio.engine.run_broadcast` — the unified round engine
+  (healthy runs and fault plans share it).
+* :func:`~repro.radio.simulator.simulate_broadcast` — the zero-fault
+  driver over the engine.
 """
 
 from .analysis import (
@@ -21,6 +24,7 @@ from .analysis import (
     phase_summary,
     transmission_efficiency,
 )
+from .engine import run_broadcast
 from .model import RadioNetwork, StepResult
 from .protocol import FunctionProtocol, RadioProtocol
 from .schedule import Schedule, execute_schedule, verify_schedule
@@ -35,6 +39,7 @@ __all__ = [
     "verify_schedule",
     "RadioProtocol",
     "FunctionProtocol",
+    "run_broadcast",
     "simulate_broadcast",
     "broadcast_time",
     "repeat_broadcast",

@@ -5,21 +5,22 @@ every node is informed or a round budget is exhausted.  The budget guards
 against protocols that stall (e.g. badly tuned transmit probabilities) —
 exceeding it raises :class:`~repro.errors.BroadcastIncompleteError` carrying
 the partial trace.
+
+The round loop itself lives in :mod:`repro.radio.engine`; this function is
+the zero-fault special case of :func:`~repro.radio.engine.run_broadcast`
+(``simulate_broadcast_faulty`` in :mod:`repro.faults` is the same engine
+with a fault plan attached).
 """
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from .._typing import IntArray, SeedLike
-from ..errors import BroadcastIncompleteError, DisconnectedGraphError
-from ..graphs.bfs import bfs_distances
-from ..rng import as_generator, spawn_generators
+from .engine import default_round_cap, run_broadcast
 from .model import RadioNetwork
 from .protocol import RadioProtocol
-from .trace import BroadcastTrace, RoundRecord
+from .trace import BroadcastTrace
 
 __all__ = [
     "default_round_cap",
@@ -27,16 +28,6 @@ __all__ = [
     "broadcast_time",
     "repeat_broadcast",
 ]
-
-
-def default_round_cap(n: int) -> int:
-    """Generous default round budget for ``O(ln n)``-class protocols.
-
-    ``200 + 60 * log2(n)`` — an order of magnitude above the constants any
-    of the implemented protocols exhibit, so hitting it signals a stall
-    rather than bad luck.
-    """
-    return 200 + 60 * max(1, math.ceil(math.log2(max(n, 2))))
 
 
 def simulate_broadcast(
@@ -48,6 +39,7 @@ def simulate_broadcast(
     seed: SeedLike = None,
     max_rounds: int | None = None,
     check_connected: bool = True,
+    raise_on_incomplete: bool = True,
 ) -> BroadcastTrace:
     """Run ``protocol`` on ``network`` until broadcast completes.
 
@@ -64,6 +56,8 @@ def simulate_broadcast(
     max_rounds: round budget; defaults to :func:`default_round_cap`.
     check_connected: verify reachability up front and raise
         :class:`DisconnectedGraphError` instead of burning the budget.
+    raise_on_incomplete: raise on a budget miss (default); ``False``
+        returns the partial trace instead.
 
     Returns
     -------
@@ -74,53 +68,17 @@ def simulate_broadcast(
     BroadcastIncompleteError
         If the budget is exhausted first (partial trace attached).
     """
-    n = network.n
-    if not 0 <= source < n:
-        raise DisconnectedGraphError(f"source {source} out of range [0, {n})")
-    if check_connected and np.any(bfs_distances(network.adj, source) < 0):
-        raise DisconnectedGraphError(
-            f"not all nodes reachable from source {source}; broadcast cannot complete"
-        )
-    if max_rounds is None:
-        max_rounds = default_round_cap(n)
-    rng = as_generator(seed)
-    protocol.prepare(n, p, source)
-    informed = np.zeros(n, dtype=bool)
-    informed[source] = True
-    informed_round = np.full(n, -1, dtype=np.int64)
-    informed_round[source] = 0
-    informer = np.full(n, -1, dtype=np.int64)
-    trace = BroadcastTrace(source=source, n=n)
-    for t in range(1, max_rounds + 1):
-        if bool(np.all(informed)):
-            break
-        mask = protocol.transmit_mask(t, informed, informed_round, rng)
-        mask = np.asarray(mask, dtype=bool) & informed
-        result = network.step(mask, informed)
-        informed[result.newly_informed] = True
-        informed_round[result.newly_informed] = t
-        informer[result.newly_informed] = result.informer[result.newly_informed]
-        trace.records.append(
-            RoundRecord(
-                round_index=t,
-                num_transmitters=result.num_transmitters,
-                num_new=result.num_new,
-                num_collided=result.num_collided,
-                informed_after=int(np.count_nonzero(informed)),
-            )
-        )
-        if bool(np.all(informed)):
-            break
-    trace.informed = informed
-    trace.informed_round = informed_round
-    trace.informer = informer
-    if not trace.completed:
-        raise BroadcastIncompleteError(
-            f"{protocol.name}: {trace.num_informed}/{n} nodes informed "
-            f"after {max_rounds} rounds",
-            trace=trace,
-        )
-    return trace
+    return run_broadcast(
+        network,
+        protocol,
+        source,
+        plan=None,
+        p=p,
+        seed=seed,
+        max_rounds=max_rounds,
+        check_connected=check_connected,
+        raise_on_incomplete=raise_on_incomplete,
+    )
 
 
 def broadcast_time(

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.errors import BroadcastIncompleteError, DisconnectedGraphError
+from repro.errors import (
+    BroadcastIncompleteError,
+    DisconnectedGraphError,
+    InvalidParameterError,
+)
 from repro.graphs import Adjacency, gnp_connected, star_graph
 from repro.radio import (
     FunctionProtocol,
@@ -64,7 +68,8 @@ class TestSimulateBroadcast:
             )
 
     def test_source_out_of_range(self, path5):
-        with pytest.raises(DisconnectedGraphError):
+        # A bad source is a parameter error, not a connectivity property.
+        with pytest.raises(InvalidParameterError):
             simulate_broadcast(RadioNetwork(path5), always_transmit(), 9)
 
     def test_uninformed_never_transmit(self, path5):

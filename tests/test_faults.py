@@ -145,12 +145,69 @@ class TestFaultySimulator:
                 crashes=CrashSchedule(crash), seed=6, max_rounds=30,
             )
 
-    def test_schedule_size_mismatch(self, star10):
-        with pytest.raises(DisconnectedGraphError, match="covers"):
+    def test_schedule_size_mismatch_is_parameter_error(self, star10):
+        with pytest.raises(InvalidParameterError, match="covers"):
             simulate_broadcast_faulty(
                 RadioNetwork(star10), UniformProtocol(1.0), 0,
                 crashes=CrashSchedule.none(9),
             )
+
+    def test_source_out_of_range_is_parameter_error(self, star10):
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            simulate_broadcast_faulty(RadioNetwork(star10), UniformProtocol(1.0), 99)
+
+    def test_everyone_crashes_except_protected_source(self, star10):
+        # crash_fraction = 1.0 with a protected source: the completion
+        # target shrinks to the survivors, so the run still "completes".
+        crashes = CrashSchedule.random(10, 1.0, 5, seed=1, protect=[0])
+        assert crashes.num_crashes() == 9
+        trace = simulate_broadcast_faulty(
+            RadioNetwork(star10), UniformProtocol(1.0), 0,
+            crashes=crashes, seed=2, max_rounds=50,
+        )
+        assert trace.completed
+
+    def test_full_reliability_trace_identical_to_fault_free(self, gnp_small):
+        # reliability = 1.0 goes down the fault path but must reproduce
+        # the healthy simulator exactly: same seed, same per-round
+        # records, same informed rounds (RNG stream parity).
+        from repro.radio import simulate_broadcast
+
+        net = RadioNetwork(gnp_small)
+        links = LossyLinkModel(gnp_small, 1.0)
+        a = simulate_broadcast(net, UniformProtocol(0.1), 0, seed=11)
+        b = simulate_broadcast_faulty(
+            net, UniformProtocol(0.1), 0, links=links, seed=11
+        )
+        assert a.records == b.records
+        assert np.array_equal(a.informed_round, b.informed_round)
+        assert a.completion_round == b.completion_round
+
+    def test_asymmetric_links_deterministic_under_fixed_seed(self, gnp_small):
+        net = RadioNetwork(gnp_small)
+        links = LossyLinkModel(gnp_small, 0.7, asymmetric=True)
+
+        def run():
+            return simulate_broadcast_faulty(
+                net, DecayProtocol(net.n), links=links, seed=9,
+                max_rounds=4000, raise_on_incomplete=False,
+            )
+
+        a, b = run(), run()
+        assert a.records == b.records
+        assert np.array_equal(a.informed_round, b.informed_round)
+
+    def test_check_connected_knob(self):
+        from repro.graphs import Adjacency
+
+        g = Adjacency.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            simulate_broadcast_faulty(RadioNetwork(g), UniformProtocol(1.0), 0)
+        trace = simulate_broadcast_faulty(
+            RadioNetwork(g), UniformProtocol(1.0), 0,
+            check_connected=False, max_rounds=5, raise_on_incomplete=False,
+        )
+        assert not trace.completed
 
     def test_lossy_slower_on_average(self):
         n = 256
