@@ -1,0 +1,153 @@
+"""K5 — engineering: batched multi-trial round kernel throughput.
+
+Measures the serial vs batched ``protocol_times`` paths in trial-rounds
+per second (one trial-round = advancing one Monte-Carlo trial by one
+radio round).  The batched path must hold a >= 5x advantage at the
+acceptance point (n = 10 000, R = 64, uniform protocol); equivalence of
+the two paths is pinned separately by ``tests/radio/test_batch.py``.
+
+Also runnable as a script for the CI artifact::
+
+    PYTHONPATH=src python benchmarks/bench_k05_batch_kernel.py --quick \\
+        --out BENCH_kernels.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.broadcast.distributed.uniform import UniformProtocol
+from repro.experiments.runner import protocol_times
+from repro.graphs import gnp
+from repro.radio import FunctionProtocol, RadioNetwork
+
+
+def make_case(n: int, seed: int = 1):
+    p = 2 * np.log(n) / n
+    net = RadioNetwork(gnp(n, p, seed=seed))
+    net.adj.matrix()
+    proto = UniformProtocol(1.0 / (p * (n - 1)))
+    return net, proto, p
+
+
+def serial_proxy(protocol) -> FunctionProtocol:
+    """Non-batch twin: same draws, pre-batch ``protocol_times`` path."""
+    proxy = FunctionProtocol(protocol.transmit_mask, name=f"serial-{protocol.name}")
+    proxy.prepare = protocol.prepare
+    return proxy
+
+
+def measure_throughput(n: int, repetitions: int, seed: int = 123) -> dict:
+    """Trial-rounds/sec of both paths plus the speedup, with equality check."""
+    net, proto, p = make_case(n)
+    kwargs = dict(repetitions=repetitions, seed=seed, p=p, max_rounds=4096)
+
+    start = time.perf_counter()
+    serial = protocol_times(net, serial_proxy(proto), **kwargs)
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = protocol_times(net, proto, **kwargs)
+    t_batch = time.perf_counter() - start
+
+    if not np.array_equal(serial, batch):
+        raise AssertionError("batched path diverged from serial path")
+    trial_rounds = float(np.sum(np.where(np.isfinite(serial), serial, 4096)))
+    return {
+        "n": n,
+        "repetitions": repetitions,
+        "trial_rounds": trial_rounds,
+        "serial_seconds": t_serial,
+        "batch_seconds": t_batch,
+        "serial_trial_rounds_per_sec": trial_rounds / t_serial,
+        "batch_trial_rounds_per_sec": trial_rounds / t_batch,
+        "speedup": t_serial / t_batch,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module", params=[1_000, 10_000], ids=["n1k", "n10k"])
+def batch_case(request):
+    net, proto, p = make_case(request.param)
+    return net, proto, p
+
+
+def test_k05_batch_path(benchmark, batch_case):
+    net, proto, p = batch_case
+    rounds = benchmark(
+        protocol_times, net, proto, repetitions=64, seed=123, p=p, max_rounds=4096
+    )
+    assert rounds.shape == (64,)
+
+
+def test_k05_serial_path(benchmark, batch_case):
+    net, proto, p = batch_case
+    rounds = benchmark(
+        protocol_times,
+        net,
+        serial_proxy(proto),
+        repetitions=64,
+        seed=123,
+        p=p,
+        max_rounds=4096,
+    )
+    assert rounds.shape == (64,)
+
+
+def test_k05_speedup_at_acceptance_point():
+    stats = measure_throughput(10_000, 64)
+    print(
+        f"\nn=10000 R=64 uniform: serial={stats['serial_trial_rounds_per_sec']:,.0f} "
+        f"tr/s, batch={stats['batch_trial_rounds_per_sec']:,.0f} tr/s, "
+        f"speedup={stats['speedup']:.2f}x"
+    )
+    assert stats["speedup"] >= 5.0
+
+
+# ----------------------------------------------------------------------
+# Script mode: emit the CI kernel-throughput artifact
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="batched kernel throughput bench")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer repetitions per size (CI budget)",
+    )
+    parser.add_argument("--out", default=None, help="write JSON results to this path")
+    args = parser.parse_args(argv)
+
+    reps = 16 if args.quick else 64
+    results = [measure_throughput(n, reps) for n in (1_000, 10_000)]
+    payload = {
+        "benchmark": "k05_batch_kernel",
+        "mode": "quick" if args.quick else "full",
+        "results": results,
+    }
+    for row in results:
+        print(
+            f"n={row['n']:>6}  R={row['repetitions']}  "
+            f"serial={row['serial_trial_rounds_per_sec']:>10,.0f} tr/s  "
+            f"batch={row['batch_trial_rounds_per_sec']:>10,.0f} tr/s  "
+            f"speedup={row['speedup']:.2f}x"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..._typing import BoolArray, IntArray
 from ...errors import InvalidParameterError
-from ...radio.protocol import RadioProtocol, bernoulli_mask
+from ...radio.protocol import RadioProtocol, bernoulli_mask, bernoulli_mask_batch
 
 __all__ = ["DecayProtocol"]
 
@@ -36,6 +36,7 @@ class DecayProtocol(RadioProtocol):
     """
 
     name = "decay"
+    supports_batch = True
 
     def __init__(self, n: int, *, phase_length: int | None = None):
         if n < 2:
@@ -71,6 +72,12 @@ class DecayProtocol(RadioProtocol):
         if q >= 1.0:
             return np.ones(informed.size, dtype=bool)
         return bernoulli_mask(rng, q, informed.size)
+
+    def transmit_mask_batch(self, t, informed, informed_round, rngs):
+        q = self.probability_at(t)
+        if q >= 1.0:
+            return np.ones(informed.shape, dtype=bool)
+        return bernoulli_mask_batch(rngs, q, informed.shape[0])
 
     def __repr__(self) -> str:
         return f"DecayProtocol(n={self.n}, phase_length={self.phase_length})"

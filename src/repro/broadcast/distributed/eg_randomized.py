@@ -36,7 +36,7 @@ import numpy as np
 
 from ..._typing import BoolArray, IntArray
 from ...errors import InvalidParameterError
-from ...radio.protocol import RadioProtocol, bernoulli_mask
+from ...radio.protocol import RadioProtocol, bernoulli_mask, bernoulli_mask_batch
 
 __all__ = ["EGRandomizedProtocol"]
 
@@ -57,6 +57,7 @@ class EGRandomizedProtocol(RadioProtocol):
     """
 
     name = "eg-randomized"
+    supports_batch = True
 
     def __init__(
         self,
@@ -118,6 +119,16 @@ class EGRandomizedProtocol(RadioProtocol):
         mask = bernoulli_mask(rng, q, informed.size) if q < 1.0 else np.ones(informed.size, dtype=bool)
         if self.strict_participation and t > self.switch_round:
             mask &= (informed_round >= 0) & (informed_round <= self.switch_round)
+        return mask
+
+    def transmit_mask_batch(self, t, informed, informed_round, rngs):
+        q = self.probability_at(t)
+        if q < 1.0:
+            mask = bernoulli_mask_batch(rngs, q, informed.shape[0])
+        else:
+            mask = np.ones(informed.shape, dtype=bool)
+        if self.strict_participation and t > self.switch_round:
+            mask = mask & (informed_round >= 0) & (informed_round <= self.switch_round)
         return mask
 
     def __repr__(self) -> str:

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..._typing import BoolArray, IntArray
 from ...errors import InvalidParameterError
-from ...radio.protocol import RadioProtocol, bernoulli_mask
+from ...radio.protocol import RadioProtocol, bernoulli_mask, bernoulli_mask_batch
 
 __all__ = ["UniformProtocol"]
 
@@ -23,6 +23,7 @@ class UniformProtocol(RadioProtocol):
     """Transmit with fixed probability ``q`` in every round."""
 
     name = "uniform"
+    supports_batch = True
 
     def __init__(self, q: float):
         if not 0.0 < q <= 1.0:
@@ -45,6 +46,11 @@ class UniformProtocol(RadioProtocol):
         if self.q >= 1.0:
             return np.ones(informed.size, dtype=bool)
         return bernoulli_mask(rng, self.q, informed.size)
+
+    def transmit_mask_batch(self, t, informed, informed_round, rngs):
+        if self.q >= 1.0:
+            return np.ones(informed.shape, dtype=bool)
+        return bernoulli_mask_batch(rngs, self.q, informed.shape[0])
 
     def __repr__(self) -> str:
         return f"UniformProtocol(q={self.q:.4g})"

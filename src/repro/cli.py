@@ -49,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--seed", type=int, default=0, help="root RNG seed")
     p_all.add_argument("--markdown", action="store_true", help="emit markdown instead of ASCII")
     p_all.add_argument("--out", default=None, help="also write the report to this file")
+    p_all.add_argument(
+        "--only",
+        default=None,
+        metavar="IDS",
+        help="comma-separated experiment ids to run (e.g. E4,E5); default: all",
+    )
     _add_sweep_flags(p_all)
     return parser
 
@@ -67,6 +73,20 @@ def _add_sweep_flags(sub_parser: argparse.ArgumentParser) -> None:
         "--resume",
         action="store_true",
         help="skip trials already recorded in --checkpoint files",
+    )
+    sub_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run experiments through the parallel sweep executor with N "
+            "worker processes; each experiment gets an independent child "
+            "seed spawned from --seed, so the tables depend on --seed but "
+            "not on N (--jobs 1 and --jobs 4 are byte-identical).  "
+            "Omitting --jobs keeps the legacy sequential path, which "
+            "reuses --seed verbatim for every experiment"
+        ),
     )
 
 
@@ -94,6 +114,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.resume and not args.checkpoint:
             print("--resume requires --checkpoint", file=sys.stderr)
             return 2
+        if args.jobs is not None and args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
         spec = get_experiment(args.experiment)
         if args.checkpoint and "checkpoint" not in spec.supported_options():
             print(
@@ -102,13 +125,25 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
         start = time.perf_counter()
-        result = run_experiment(
-            args.experiment,
-            quick=not args.full,
-            seed=args.seed,
-            checkpoint=args.checkpoint,
-            resume=args.resume,
-        )
+        if args.jobs is not None:
+            from .experiments import run_catalog_parallel
+
+            result = run_catalog_parallel(
+                [spec.experiment_id],
+                quick=not args.full,
+                seed=args.seed,
+                jobs=args.jobs,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            )[0]
+        else:
+            result = run_experiment(
+                args.experiment,
+                quick=not args.full,
+                seed=args.seed,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+            )
         elapsed = time.perf_counter() - start
         print(_render(result, args.markdown))
         print(f"\n({'full' if args.full else 'quick'} mode, {elapsed:.1f}s)")
@@ -123,20 +158,47 @@ def main(argv: list[str] | None = None) -> int:
         if args.resume and not args.checkpoint:
             print("--resume requires --checkpoint", file=sys.stderr)
             return 2
+        if args.jobs is not None and args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
+        if args.only:
+            specs = [get_experiment(token) for token in args.only.split(",") if token]
+        else:
+            specs = list(EXPERIMENTS.values())
         chunks = []
-        for spec in EXPERIMENTS.values():
+        if args.jobs is not None:
+            from .experiments import run_catalog_parallel
+
             start = time.perf_counter()
-            result = spec(
+            results = run_catalog_parallel(
+                [spec.experiment_id for spec in specs],
                 quick=not args.full,
                 seed=args.seed,
+                jobs=args.jobs,
                 checkpoint=args.checkpoint,
                 resume=args.resume,
             )
             elapsed = time.perf_counter() - start
-            chunk = _render(result, args.markdown)
-            print(chunk)
-            print(f"({elapsed:.1f}s)\n")
-            chunks.append(chunk)
+            for result in results:
+                chunk = _render(result, args.markdown)
+                print(chunk)
+                print()
+                chunks.append(chunk)
+            print(f"({len(results)} experiments, --jobs {args.jobs}, {elapsed:.1f}s)")
+        else:
+            for spec in specs:
+                start = time.perf_counter()
+                result = spec(
+                    quick=not args.full,
+                    seed=args.seed,
+                    checkpoint=args.checkpoint,
+                    resume=args.resume,
+                )
+                elapsed = time.perf_counter() - start
+                chunk = _render(result, args.markdown)
+                print(chunk)
+                print(f"({elapsed:.1f}s)\n")
+                chunks.append(chunk)
         if args.out:
             with open(args.out, "w") as fh:
                 fh.write("\n\n".join(chunks) + "\n")

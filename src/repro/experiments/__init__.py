@@ -15,9 +15,15 @@ Long fault sweeps run on the resilient engine
 (:func:`~repro.experiments.resilient.run_resilient_sweep`): per-trial
 retry with fresh derived seeds, JSON checkpoint/resume, and structured
 failure records instead of aborted tables.
+
+Independent sweep configs fan out over worker processes through
+:func:`~repro.experiments.parallel.run_parallel_sweep`; per-config
+seeds are spawned from the root before scheduling, so results never
+depend on the worker count (``repro run-all --jobs N``).
 """
 
 from .catalog import EXPERIMENTS, get_experiment, run_experiment
+from .parallel import SweepTask, run_catalog_parallel, run_parallel_sweep
 from .report import format_markdown_table, format_table
 from .resilient import (
     SweepCheckpoint,
@@ -41,4 +47,7 @@ __all__ = [
     "SweepCheckpoint",
     "TrialRecord",
     "TrialOutcome",
+    "SweepTask",
+    "run_parallel_sweep",
+    "run_catalog_parallel",
 ]

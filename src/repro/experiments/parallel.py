@@ -1,0 +1,160 @@
+"""Parallel sweep executor: fan independent configs over worker processes.
+
+A sweep is a list of independent configurations (one experiment, one
+parameter cell, one resilient sub-sweep) that share nothing but a root
+seed.  This module runs them concurrently without changing what they
+compute:
+
+* **stateless seed derivation** — every config receives a child of the
+  root ``SeedSequence`` (``spawn_seeds(seed, len(tasks))``), derived
+  *before* any work is scheduled.  The derivation depends only on the
+  root seed and the config's position, never on worker scheduling, so
+  ``jobs=1`` and ``jobs=N`` produce byte-identical results;
+* **in-process fast path** — ``jobs=1`` runs the tasks serially in the
+  calling process through exactly the same derivation, which is what the
+  equivalence guarantee is pinned against
+  (``tests/experiments/test_parallel.py``);
+* **checkpoint composition** — tasks may themselves be
+  :func:`~repro.experiments.resilient.run_resilient_sweep` calls: each
+  child ``SeedSequence`` carries a distinct ``spawn_key``, which the
+  resilient engine's per-(trial, attempt) derivation preserves, so two
+  parallel sweep configs never collide on trial streams even though all
+  children share the root's entropy.
+
+``repro run-all --jobs N`` (and ``repro run --jobs N``) route through
+:func:`run_catalog_parallel`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .._typing import SeedLike
+from ..errors import InvalidParameterError
+from ..rng import spawn_seeds
+from .catalog import get_experiment
+from .runner import ExperimentResult
+
+__all__ = ["SweepTask", "run_parallel_sweep", "run_catalog_parallel", "child_seed_int"]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent unit of sweep work.
+
+    ``fn`` must be picklable (a module-level callable) when the sweep
+    runs with ``jobs > 1``; it is invoked as ``fn(seed=child, **kwargs)``
+    where ``child`` is the task's spawned :class:`~numpy.random.SeedSequence`.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    kwargs: dict = field(default_factory=dict)
+
+
+def _call_task(task: SweepTask, child: np.random.SeedSequence) -> Any:
+    """Module-level trampoline so tasks pickle into worker processes."""
+    return task.fn(seed=child, **task.kwargs)
+
+
+def run_parallel_sweep(
+    tasks: Sequence[SweepTask],
+    *,
+    jobs: int = 1,
+    seed: SeedLike = None,
+) -> list[Any]:
+    """Run independent sweep tasks, optionally across worker processes.
+
+    Parameters
+    ----------
+    tasks: the sweep configurations, in result order.
+    jobs: worker processes; ``1`` runs in-process (no executor, no
+        pickling requirement), ``N > 1`` fans out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor` capped at
+        ``len(tasks)`` workers.
+    seed: root seed; task ``i`` receives the ``i``-th spawned child, so
+        results do not depend on ``jobs`` or on completion order.
+
+    Returns
+    -------
+    Task results in task order.
+    """
+    if jobs < 1:
+        raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+    tasks = list(tasks)
+    children = spawn_seeds(seed, len(tasks))
+    if jobs == 1 or len(tasks) <= 1:
+        return [_call_task(task, child) for task, child in zip(tasks, children)]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = [
+            pool.submit(_call_task, task, child)
+            for task, child in zip(tasks, children)
+        ]
+        return [f.result() for f in futures]
+
+
+def child_seed_int(child: np.random.SeedSequence) -> int:
+    """Collapse a spawned child into a plain integer seed.
+
+    Experiment runners (and their checkpoint ``config_key`` strings)
+    traffic in integer seeds; the first word of the child's generated
+    state is a deterministic 64-bit digest of ``(entropy, spawn_key)``,
+    so distinct configs keep distinct streams.
+    """
+    return int(child.generate_state(1, np.uint64)[0])
+
+
+def _run_catalog_task(
+    seed: np.random.SeedSequence,
+    *,
+    experiment_id: str,
+    quick: bool,
+    checkpoint: str | None,
+    resume: bool,
+) -> ExperimentResult:
+    spec = get_experiment(experiment_id)
+    return spec(
+        quick=quick,
+        seed=child_seed_int(seed),
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+
+
+def run_catalog_parallel(
+    experiment_ids: Sequence[str],
+    *,
+    quick: bool = True,
+    seed: SeedLike = 0,
+    jobs: int = 1,
+    checkpoint: str | None = None,
+    resume: bool = False,
+) -> list[ExperimentResult]:
+    """Run catalogued experiments as a parallel sweep.
+
+    Each experiment is one :class:`SweepTask` receiving an integer seed
+    digested from its spawned child (:func:`child_seed_int`), so the
+    result tables are a pure function of ``(experiment_ids, quick,
+    seed)`` — independent of ``jobs``.  ``checkpoint``/``resume`` are
+    forwarded to experiments that support them; per-experiment
+    checkpoint files are distinct, so concurrent workers never contend
+    on one file.
+    """
+    tasks = [
+        SweepTask(
+            key=experiment_id,
+            fn=_run_catalog_task,
+            kwargs={
+                "experiment_id": experiment_id,
+                "quick": quick,
+                "checkpoint": checkpoint,
+                "resume": resume,
+            },
+        )
+        for experiment_id in experiment_ids
+    ]
+    return run_parallel_sweep(tasks, jobs=jobs, seed=seed)

@@ -205,9 +205,18 @@ class SweepResult:
 
 
 def _attempt_rng(root: np.random.SeedSequence, index: int, attempt: int):
-    """Stateless per-(trial, attempt) stream — resume-stable by design."""
+    """Stateless per-(trial, attempt) stream — resume-stable by design.
+
+    The root's own ``spawn_key`` is part of the derivation: when the root
+    is itself a spawned child (one sweep config of a parallel fan-out, see
+    :mod:`repro.experiments.parallel`), siblings share ``entropy`` and
+    differ *only* in their spawn key, so dropping it would collapse every
+    config onto the same trial streams.
+    """
     return np.random.default_rng(
-        np.random.SeedSequence(entropy=root.entropy, spawn_key=(index, attempt))
+        np.random.SeedSequence(
+            entropy=root.entropy, spawn_key=(*root.spawn_key, index, attempt)
+        )
     )
 
 

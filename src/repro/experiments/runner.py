@@ -9,6 +9,7 @@ import numpy as np
 
 from .._typing import SeedLike
 from ..errors import BroadcastIncompleteError
+from ..radio.engine import run_broadcast_batch
 from ..radio.model import RadioNetwork
 from ..radio.protocol import RadioProtocol
 from ..radio.simulator import simulate_broadcast
@@ -126,7 +127,29 @@ def protocol_times(
     broadcast got instead of collapsing to an opaque ``inf``.
     ``check_connected=False`` skips the per-trial reachability BFS —
     sweeps over one fixed connected graph should verify once upfront.
+
+    Protocols that advertise ``supports_batch`` (uniform, decay, the
+    Theorem 7 randomized protocol) are measured on the batched engine
+    (:func:`~repro.radio.engine.run_broadcast_batch`): all repetitions
+    advance in lockstep, one CSR×dense matmul per round.  The per-trial
+    streams are spawned identically in both paths, so the dispatch is
+    bit-for-bit invisible in the results (pinned by
+    ``tests/radio/test_batch.py``).
     """
+    if repetitions >= 1 and getattr(protocol, "supports_batch", False):
+        batch = run_broadcast_batch(
+            network,
+            protocol,
+            source,
+            repetitions=repetitions,
+            p=p,
+            seed=seed,
+            max_rounds=max_rounds,
+            check_connected=check_connected,
+        )
+        if with_fractions:
+            return batch.completion_rounds, batch.informed_fractions
+        return batch.completion_rounds
     out = np.empty(repetitions, dtype=float)
     fractions = np.empty(repetitions, dtype=float)
     n = network.n

@@ -54,7 +54,15 @@ class Adjacency:
         ``O(n + m)`` check.
     """
 
-    __slots__ = ("_indptr", "_indices", "_matrix", "__weakref__")
+    __slots__ = (
+        "_indptr",
+        "_indices",
+        "_matrix",
+        "_degrees",
+        "_mask_buf",
+        "_gather_arange",
+        "__weakref__",
+    )
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, *, validate: bool = True):
         indptr = np.ascontiguousarray(indptr, dtype=np.int64)
@@ -66,6 +74,9 @@ class Adjacency:
         self._indptr = indptr
         self._indices = indices
         self._matrix: sp.csr_matrix | None = None
+        self._degrees: np.ndarray | None = None
+        self._mask_buf: np.ndarray | None = None
+        self._gather_arange: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -215,8 +226,12 @@ class Adjacency:
 
     @property
     def degrees(self) -> IntArray:
-        """Degree of every node (fresh array)."""
-        return np.diff(self._indptr)
+        """Degree of every node (cached read-only array)."""
+        if self._degrees is None:
+            degs = np.diff(self._indptr)
+            degs.flags.writeable = False
+            self._degrees = degs
+        return self._degrees
 
     @property
     def max_degree(self) -> int:
@@ -255,11 +270,17 @@ class Adjacency:
     # ------------------------------------------------------------------
 
     def matrix(self) -> sp.csr_matrix:
-        """Cached ``int32`` CSR matrix for matvec kernels."""
+        """Cached ``int64`` CSR matrix for matvec/matmat kernels.
+
+        ``int64`` data keeps every kernel dot product upcast-free: boolean
+        masks are cast once into the cached scratch buffer, and the
+        informer-extraction matvec (ids up to ``n``) needs no temporary
+        copy of the data array.
+        """
         if self._matrix is None:
             self._matrix = sp.csr_matrix(
                 (
-                    np.ones(self._indices.size, dtype=np.int32),
+                    np.ones(self._indices.size, dtype=np.int64),
                     self._indices.copy(),
                     self._indptr.copy(),
                 ),
@@ -271,20 +292,97 @@ class Adjacency:
         """For every node, the number of its neighbours where ``mask`` is true.
 
         This is the radio round kernel: with ``mask`` the transmitter set,
-        the result tells each node how many transmissions reach it.
+        the result tells each node how many transmissions reach it.  The
+        bool→int cast goes through a cached scratch buffer, so the hot
+        matvec allocates only its output (one array per round).
         """
         mask = np.asarray(mask)
         if mask.shape != (self.n,):
             raise GraphError(f"mask must have shape ({self.n},), got {mask.shape}")
-        return self.matrix().dot(mask.astype(np.int32)).astype(np.int64)
+        if self._mask_buf is None:
+            self._mask_buf = np.empty(self.n, dtype=np.int64)
+        np.copyto(self._mask_buf, mask, casting="unsafe")
+        return self.matrix().dot(self._mask_buf)
+
+    #: Crossover for :meth:`neighbor_counts_batch`: the scatter path costs
+    #: roughly this many matmul flops per gathered edge endpoint, so it is
+    #: taken only while (transmissions × that factor) stays below the
+    #: dense matmul's fixed ``nnz × R`` work.
+    _SCATTER_COST = 4
+
+    def neighbor_counts_batch(self, masks: BoolArray | np.ndarray) -> IntArray:
+        """Batched round kernel: neighbour counts for ``R`` masks at once.
+
+        ``masks`` has shape ``(n, R)`` — one transmitter mask per column
+        (trial) — and the result is the ``(n, R)`` count matrix.  One call
+        replaces ``R`` separate :meth:`neighbor_counts` matvecs, which is
+        what makes batched Monte-Carlo repetition cheap.
+
+        Two execution paths, chosen by transmission volume:
+
+        * **scatter** — when few nodes transmit (the common case for
+          ``1/d``-selective protocol rounds), gather the transmitters'
+          CSR rows and accumulate one :func:`numpy.bincount` over a
+          flattened ``(R, n)`` index space.  Work scales with the number
+          of transmitting-node edge endpoints, not with ``nnz × R``.
+        * **matmul** — when transmitters are dense (flood rounds), a
+          single CSR×dense matmul traverses the structure once for all
+          columns.
+        """
+        masks = np.asarray(masks)
+        if masks.ndim != 2 or masks.shape[0] != self.n:
+            raise GraphError(
+                f"masks must have shape ({self.n}, R), got {masks.shape}"
+            )
+        n, reps = masks.shape
+        # Work in whichever orientation is contiguous: the batch engine
+        # keeps trial-major (R, n) state and hands us its transpose, and a
+        # single flatnonzero over the contiguous base beats a strided 2-D
+        # nonzero by ~3x.  The returned counts inherit the input's layout,
+        # so downstream elementwise ops stay contiguous either way.
+        trial_major = masks.T.flags.c_contiguous and not masks.flags.c_contiguous
+        base = masks.T if trial_major else np.ascontiguousarray(masks)
+        flat_in = np.flatnonzero(base)
+        if trial_major:
+            col, node = np.divmod(flat_in, n)
+        else:
+            node, col = np.divmod(flat_in, reps)
+        lengths = self.degrees[node]
+        cumlen = np.cumsum(lengths)
+        work = int(cumlen[-1]) if lengths.size else 0
+        if work * self._SCATTER_COST >= self._indices.size * reps:
+            dense = np.ascontiguousarray(masks, dtype=np.int64)
+            return self.matrix().dot(dense)
+        if work == 0:
+            return np.zeros((n, reps), dtype=np.int64)
+        if self._gather_arange is None or self._gather_arange.size < work:
+            self._gather_arange = np.arange(work, dtype=np.int64)
+        starts = self._indptr[node]
+        offsets = np.repeat(starts - (cumlen - lengths), lengths)
+        neighbours = self._indices[offsets + self._gather_arange[:work]]
+        if trial_major:
+            flat_out = np.repeat(col * np.int64(n), lengths) + neighbours
+            counts = np.bincount(flat_out, minlength=n * reps)
+            return counts.reshape(reps, n).T
+        flat_out = neighbours * np.int64(reps) + np.repeat(col, lengths)
+        counts = np.bincount(flat_out, minlength=n * reps)
+        return counts.reshape(n, reps)
 
     def neighborhood_of(self, nodes: IntArray | Sequence[int]) -> IntArray:
         """Sorted unique union of neighbours of ``nodes`` (may include ``nodes``)."""
         nodes = np.asarray(nodes, dtype=np.int64)
         if nodes.size == 0:
             return np.empty(0, dtype=np.int64)
-        chunks = [self._indices[self._indptr[v] : self._indptr[v + 1]] for v in nodes]
-        return np.unique(np.concatenate(chunks)) if chunks else np.empty(0, dtype=np.int64)
+        starts = self._indptr[nodes]
+        lengths = self._indptr[nodes + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Gather all rows in one shot: for output slot k in row-group g,
+        # the source index is starts[g] + (k - cumulative length before g).
+        offsets = np.repeat(starts - (np.cumsum(lengths) - lengths), lengths)
+        gather = offsets + np.arange(total, dtype=np.int64)
+        return np.unique(self._indices[gather])
 
     def subgraph(self, nodes: IntArray | Sequence[int]) -> tuple["Adjacency", IntArray]:
         """Induced subgraph on ``nodes``.

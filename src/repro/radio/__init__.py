@@ -24,8 +24,8 @@ from .analysis import (
     phase_summary,
     transmission_efficiency,
 )
-from .engine import run_broadcast
-from .model import RadioNetwork, StepResult
+from .engine import BatchBroadcastResult, run_broadcast, run_broadcast_batch
+from .model import BatchStepResult, RadioNetwork, StepResult
 from .protocol import FunctionProtocol, RadioProtocol
 from .schedule import Schedule, execute_schedule, verify_schedule
 from .simulator import broadcast_time, default_round_cap, repeat_broadcast, simulate_broadcast
@@ -34,12 +34,15 @@ from .trace import BroadcastTrace, RoundRecord
 __all__ = [
     "RadioNetwork",
     "StepResult",
+    "BatchStepResult",
     "Schedule",
     "execute_schedule",
     "verify_schedule",
     "RadioProtocol",
     "FunctionProtocol",
     "run_broadcast",
+    "run_broadcast_batch",
+    "BatchBroadcastResult",
     "simulate_broadcast",
     "broadcast_time",
     "repeat_broadcast",

@@ -34,22 +34,28 @@ The fault-plan interface (all duck-typed so this module never imports
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
-from .._typing import SeedLike
+from .._typing import BoolArray, FloatArray, IntArray, SeedLike
 from ..errors import (
     BroadcastIncompleteError,
     DisconnectedGraphError,
     InvalidParameterError,
 )
 from ..graphs.bfs import bfs_distances
-from ..rng import as_generator
+from ..rng import as_generator, spawn_generators
 from .model import RadioNetwork
 from .protocol import RadioProtocol
 from .trace import BroadcastTrace, RoundRecord
 
-__all__ = ["default_round_cap", "run_broadcast"]
+__all__ = [
+    "default_round_cap",
+    "run_broadcast",
+    "run_broadcast_batch",
+    "BatchBroadcastResult",
+]
 
 
 def default_round_cap(n: int) -> int:
@@ -219,3 +225,170 @@ def run_broadcast(
             trace=trace,
         )
     return trace
+
+
+@dataclass(frozen=True)
+class BatchBroadcastResult:
+    """Per-trial outcomes of a batched multi-trial broadcast run.
+
+    Attributes
+    ----------
+    source: the node initially holding the message (shared by all trials).
+    n: network size.
+    completion_rounds: shape ``(R,)``; trial ``r``'s completion round, or
+        ``inf`` when it exhausted the round budget.
+    informed_fractions: shape ``(R,)``; final informed fraction per trial
+        (1.0 for completed trials).
+    rounds_executed: number of lockstep rounds the engine ran (the budget,
+        or the round in which the last active trial completed).
+    """
+
+    source: int
+    n: int
+    completion_rounds: FloatArray
+    informed_fractions: FloatArray
+    rounds_executed: int
+
+    @property
+    def repetitions(self) -> int:
+        """Number of trials in the batch."""
+        return int(self.completion_rounds.size)
+
+    @property
+    def completed(self) -> BoolArray:
+        """Mask of trials that informed every node within the budget."""
+        return np.isfinite(self.completion_rounds)
+
+    @property
+    def num_completed(self) -> int:
+        return int(np.count_nonzero(self.completed))
+
+
+def run_broadcast_batch(
+    network: RadioNetwork,
+    protocol: RadioProtocol,
+    source: int = 0,
+    *,
+    repetitions: int,
+    p: float | None = None,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    check_connected: bool = True,
+) -> BatchBroadcastResult:
+    """Run ``repetitions`` independent healthy trials in vectorized lockstep.
+
+    Statistically — and bit-for-bit — equivalent to ``repetitions``
+    sequential :func:`run_broadcast` calls seeded with
+    ``spawn_generators(seed, repetitions)``: trial ``r`` consumes exactly
+    the draws its serial counterpart would, because protocols draw one
+    ``random(n)`` block per *active* trial per round (see
+    :func:`~repro.radio.protocol.bernoulli_mask_batch`) and a completed
+    trial stops drawing.  What changes is the hardware cost: each round
+    advances every unfinished trial with one batched count kernel
+    (:meth:`RadioNetwork.step_batch`) instead of one sparse matvec per
+    trial, so repetition count stops being the bottleneck.
+
+    The batched path keeps no per-round traces and extracts no broadcast
+    trees; it exists for Monte-Carlo timing sweeps.  Protocols must be
+    stateless across rounds (all ``supports_batch`` protocols are); a
+    stateful protocol would see its state interleaved across trials.
+
+    Parameters
+    ----------
+    network, protocol, source, p, seed, check_connected: as in
+        :func:`run_broadcast`; ``seed`` is the *root* seed from which the
+        per-trial streams are spawned.
+    repetitions: number of independent trials (``R >= 1``).
+    max_rounds: per-trial round budget; defaults to
+        :func:`default_round_cap`.  Trials that exhaust it are reported
+        with ``inf`` completion rounds instead of raising.
+
+    Returns
+    -------
+    BatchBroadcastResult with per-trial completion rounds and informed
+    fractions.
+    """
+    n = network.n
+    if not 0 <= source < n:
+        raise InvalidParameterError(f"source {source} out of range [0, {n})")
+    if repetitions < 1:
+        raise InvalidParameterError(
+            f"repetitions must be >= 1, got {repetitions}"
+        )
+    if check_connected and np.any(bfs_distances(network.adj, source) < 0):
+        raise DisconnectedGraphError(
+            f"not all nodes reachable from source {source}; broadcast cannot complete"
+        )
+    if max_rounds is None:
+        max_rounds = default_round_cap(n)
+    rngs = spawn_generators(seed, repetitions)
+    protocol.prepare(n, p, source)
+
+    # Working state holds only the still-active trials; when a trial
+    # completes its row is dropped (its state can never change again), so
+    # late straggler rounds touch narrow arrays instead of gathering /
+    # scattering the full batch every round.  State is kept trial-major —
+    # ``(R, n)`` C-order, one contiguous row per trial — so per-trial
+    # draws, completion reductions and compaction slices all run over
+    # contiguous memory; the model-facing ``(n, R)`` orientation is a free
+    # transposed view.
+    informed = np.zeros((repetitions, n), dtype=bool)
+    informed[:, source] = True
+    informed_round = np.full((repetitions, n), -1, dtype=np.int64)
+    informed_round[:, source] = 0
+    trial_ids = np.arange(repetitions, dtype=np.int64)
+    completion = np.full(repetitions, np.inf)
+    # Degenerate n == 1 networks complete at round 0, before any draw —
+    # mirroring the serial engine's pre-loop done() check.
+    done0 = informed.all(axis=1)
+    if done0.any():
+        completion[trial_ids[done0]] = 0.0
+        keep = ~done0
+        informed = informed[keep]
+        informed_round = informed_round[keep]
+        trial_ids = trial_ids[keep]
+        rngs = [rngs[r] for r in np.flatnonzero(keep)]
+
+    rounds_executed = 0
+    for t in range(1, max_rounds + 1):
+        if trial_ids.size == 0:
+            break
+        rounds_executed = t
+        mask = np.asarray(
+            protocol.transmit_mask_batch(t, informed.T, informed_round.T, rngs),
+            dtype=bool,
+        )
+        rows = mask.T
+        if not rows.flags.c_contiguous:
+            rows = np.ascontiguousarray(rows)
+        rows = rows & informed
+        step = network.step_batch(
+            rows.T,
+            informed.T,
+            with_collided=False,
+            with_transmitters=False,
+            assume_informed=True,
+        )
+        received = step.received.T
+        newly = received > informed  # received & ~informed, one pass on bools
+        informed |= received
+        np.copyto(informed_round, t, where=newly)
+        finished = informed.all(axis=1)
+        if finished.any():
+            completion[trial_ids[finished]] = float(t)
+            keep = ~finished
+            informed = informed[keep]
+            informed_round = informed_round[keep]
+            trial_ids = trial_ids[keep]
+            rngs = [rngs[r] for r in np.flatnonzero(keep)]
+
+    fractions = np.ones(repetitions)
+    if trial_ids.size:
+        fractions[trial_ids] = informed.sum(axis=1) / float(n)
+    return BatchBroadcastResult(
+        source=source,
+        n=n,
+        completion_rounds=completion,
+        informed_fractions=fractions,
+        rounds_executed=rounds_executed,
+    )

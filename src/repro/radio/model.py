@@ -21,7 +21,7 @@ from .._typing import BoolArray, IntArray
 from ..errors import GraphError, SimulationError
 from ..graphs.adjacency import Adjacency
 
-__all__ = ["RadioNetwork", "StepResult"]
+__all__ = ["RadioNetwork", "StepResult", "BatchStepResult"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +62,30 @@ class StepResult:
     def num_collided(self) -> int:
         """Number of listeners lost to collisions this round."""
         return int(np.count_nonzero(self.collided))
+
+
+@dataclass(frozen=True)
+class BatchStepResult:
+    """Outcome of one radio round advanced across ``R`` independent trials.
+
+    All masks have shape ``(n, R)`` — column ``r`` is trial ``r``'s round,
+    with exactly the same semantics as the corresponding
+    :class:`StepResult` fields.  Informer extraction is deliberately
+    omitted: the batched path exists for high-repetition timing sweeps,
+    which never read the broadcast tree (use :meth:`RadioNetwork.step`
+    when you need it).  ``collided`` is ``None`` when the step was asked
+    to skip collision accounting (the batch engine does; it only needs
+    receptions).
+    """
+
+    received: BoolArray
+    collided: BoolArray | None
+    num_transmitters: IntArray | None
+
+    @property
+    def repetitions(self) -> int:
+        """Number of trials advanced by this step."""
+        return int(self.received.shape[1])
 
 
 class RadioNetwork:
@@ -141,6 +165,70 @@ class RadioNetwork:
             collided=collided,
             num_transmitters=int(np.count_nonzero(transmitting)),
             informer=informer,
+        )
+
+    def _check_mask_batch(self, mask: np.ndarray, name: str) -> BoolArray:
+        mask = np.asarray(mask)
+        if mask.ndim != 2 or mask.shape[0] != self.n or mask.dtype != np.bool_:
+            raise SimulationError(
+                f"{name} must be a bool array of shape ({self.n}, R), "
+                f"got shape {mask.shape} dtype {mask.dtype}"
+            )
+        return mask
+
+    def step_batch(
+        self,
+        transmitting: BoolArray,
+        informed: BoolArray,
+        *,
+        with_collided: bool = True,
+        with_transmitters: bool = True,
+        assume_informed: bool = False,
+    ) -> BatchStepResult:
+        """Execute one synchronous round of ``R`` independent trials.
+
+        Both arguments have shape ``(n, R)``: column ``r`` is the
+        transmitter/informed state of trial ``r``.  The trials share the
+        topology but nothing else — the reception rule is applied
+        column-wise, and the per-trial sparse matvecs of :meth:`step`
+        become one batched count kernel over all columns
+        (:meth:`~repro.graphs.adjacency.Adjacency.neighbor_counts_batch`).
+
+        The keyword switches let hot timing loops shed accounting they
+        never read: ``with_collided=False`` skips the collision mask,
+        ``with_transmitters=False`` skips the per-trial transmitter tally,
+        and ``assume_informed=True`` asserts the caller already
+        intersected ``transmitting`` with ``informed`` (every transmission
+        carries the message), skipping the uninformed-transmitter pass.
+
+        Returns
+        -------
+        BatchStepResult
+            Column-wise round outcome; the caller owns updating its
+            per-trial ``informed`` state from ``received``.
+        """
+        transmitting = self._check_mask_batch(transmitting, "transmitting")
+        informed = self._check_mask_batch(informed, "informed")
+        total = self.adj.neighbor_counts_batch(transmitting)
+        if assume_informed:
+            message = total
+        else:
+            carrying = transmitting & informed
+            if np.array_equal(carrying, transmitting):
+                message = total
+            else:
+                message = self.adj.neighbor_counts_batch(carrying)
+        listening = ~transmitting
+        received = listening & (total == 1)
+        if message is not total:
+            received &= message == 1
+        collided = listening & (total >= 2) if with_collided else None
+        return BatchStepResult(
+            received=received,
+            collided=collided,
+            num_transmitters=(
+                transmitting.sum(axis=0, dtype=np.int64) if with_transmitters else None
+            ),
         )
 
     def step_reference(self, transmitting: BoolArray, informed: BoolArray) -> StepResult:

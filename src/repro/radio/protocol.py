@@ -16,13 +16,18 @@ protocol can never make an uninformed node transmit the message.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from .._typing import BoolArray, IntArray
 
-__all__ = ["RadioProtocol", "FunctionProtocol", "bernoulli_mask"]
+__all__ = [
+    "RadioProtocol",
+    "FunctionProtocol",
+    "bernoulli_mask",
+    "bernoulli_mask_batch",
+]
 
 
 def bernoulli_mask(
@@ -30,6 +35,24 @@ def bernoulli_mask(
 ) -> BoolArray:
     """Independent per-node coin flips with the given probabilities."""
     return rng.random(n) < probabilities
+
+
+def bernoulli_mask_batch(
+    rngs: Sequence[np.random.Generator],
+    probabilities: np.ndarray | float,
+    n: int,
+) -> BoolArray:
+    """Per-trial Bernoulli columns: ``(n, len(rngs))`` coin-flip masks.
+
+    Column ``r`` is drawn from ``rngs[r]`` with exactly the draws
+    :func:`bernoulli_mask` would make (one ``random(n)`` call), so a
+    batched run consumes each trial's stream identically to a serial run
+    — the statistical-equivalence guarantee the batch engine relies on.
+    """
+    uniforms = np.empty((len(rngs), n))
+    for r, rng in enumerate(rngs):
+        rng.random(out=uniforms[r])
+    return (uniforms < probabilities).T
 
 
 class RadioProtocol(ABC):
@@ -41,6 +64,13 @@ class RadioProtocol(ABC):
 
     #: Human-readable protocol name (used in reports).
     name: str = "protocol"
+
+    #: True when :meth:`transmit_mask_batch` is a vectorized implementation
+    #: that is draw-for-draw equivalent to per-trial :meth:`transmit_mask`
+    #: calls AND the protocol keeps no mutable per-run state (so ``R``
+    #: interleaved trials cannot corrupt each other).  Measurement helpers
+    #: (``protocol_times``) dispatch to the batched engine only when set.
+    supports_batch: bool = False
 
     def prepare(self, n: int, p: float | None, source: int) -> None:
         """Reset per-run state.  ``p`` is ``None`` when unknown to nodes."""
@@ -68,6 +98,30 @@ class RadioProtocol(ABC):
         Boolean mask; entries at uninformed nodes are ignored (the
         simulator masks them out).
         """
+
+    def transmit_mask_batch(
+        self,
+        t: int,
+        informed: BoolArray,
+        informed_round: IntArray,
+        rngs: Sequence[np.random.Generator],
+    ) -> BoolArray:
+        """Decide who transmits in round ``t`` across ``R`` trials at once.
+
+        ``informed`` and ``informed_round`` have shape ``(n, R)`` and
+        ``rngs`` holds one generator per column; the result is the
+        ``(n, R)`` transmit mask.  This generic fallback evaluates
+        :meth:`transmit_mask` column by column, so any protocol works
+        under the batched engine; Bernoulli-style protocols override it
+        with a vectorized implementation and set ``supports_batch``.
+        """
+        n, reps = informed.shape
+        out = np.empty((n, reps), dtype=bool)
+        for r, rng in enumerate(rngs):
+            out[:, r] = self.transmit_mask(
+                t, informed[:, r], informed_round[:, r], rng
+            )
+        return out
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

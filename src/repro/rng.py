@@ -58,12 +58,22 @@ def derive_generator(seed: SeedLike, *keys: int) -> np.random.Generator:
     Useful when a reproducible stream is needed for a specific
     (experiment, sweep-point, repetition) coordinate without threading
     generator objects through every call.
+
+    When ``seed`` is a :class:`~numpy.random.SeedSequence` its
+    ``spawn_key`` participates in the derivation.  Spawned siblings (the
+    per-config children handed out by the parallel sweep executor) share
+    ``entropy`` and differ only in their spawn key, so ignoring it would
+    make every sibling derive identical streams for the same ``keys``.
+    For plain integer seeds the spawn key is empty and the derivation is
+    unchanged.
     """
+    spawn_key: tuple[int, ...] = ()
     if isinstance(seed, np.random.Generator):
         base = int(seed.integers(0, 2**63))
     elif isinstance(seed, np.random.SeedSequence):
         base = seed.entropy if isinstance(seed.entropy, int) else 0
+        spawn_key = tuple(int(k) for k in seed.spawn_key)
     else:
         base = 0 if seed is None else int(seed)
-    ss = np.random.SeedSequence([base, *[int(k) for k in keys]])
+    ss = np.random.SeedSequence([base, *spawn_key, *[int(k) for k in keys]])
     return np.random.default_rng(ss)

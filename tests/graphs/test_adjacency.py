@@ -188,6 +188,65 @@ class TestKernels:
         m2 = path5.matrix()
         assert m1 is m2
 
+    def test_degrees_cached_and_readonly(self, gnp_small):
+        d1 = gnp_small.degrees
+        d2 = gnp_small.degrees
+        assert d1 is d2
+        assert not d1.flags.writeable
+        assert np.array_equal(d1, np.diff(gnp_small.indptr))
+
+    def test_neighborhood_of_matches_naive_union(self, gnp_small, rng):
+        nodes = rng.choice(gnp_small.n, size=7, replace=False)
+        expected = sorted({int(w) for v in nodes for w in gnp_small.neighbors(v)})
+        assert list(gnp_small.neighborhood_of(nodes)) == expected
+
+    def test_neighborhood_of_isolated_nodes(self):
+        g = Adjacency.from_edges(4, [(0, 1)])
+        assert g.neighborhood_of([2, 3]).size == 0
+
+
+class TestBatchKernel:
+    def test_matches_per_column_counts(self, gnp_small, rng):
+        masks = rng.random((gnp_small.n, 9)) < 0.3
+        batch = gnp_small.neighbor_counts_batch(masks)
+        assert batch.shape == (gnp_small.n, 9)
+        for r in range(9):
+            assert np.array_equal(batch[:, r], gnp_small.neighbor_counts(masks[:, r]))
+
+    def test_trial_major_view_matches_column_major(self, gnp_small, rng):
+        # The batch engine passes a transposed view of C-order trial-major
+        # state; both orientations must produce the same counts.
+        rows = rng.random((6, gnp_small.n)) < 0.3
+        via_view = gnp_small.neighbor_counts_batch(rows.T)
+        via_copy = gnp_small.neighbor_counts_batch(np.ascontiguousarray(rows.T))
+        assert np.array_equal(via_view, via_copy)
+
+    def test_dense_path_matches_scatter(self, gnp_small, rng):
+        # All-transmitting masks push the work estimate over the matmul
+        # crossover; the two paths must agree exactly.
+        dense = np.ones((gnp_small.n, 4), dtype=bool)
+        batch = gnp_small.neighbor_counts_batch(dense)
+        expected = np.repeat(
+            np.asarray(gnp_small.degrees)[:, None], 4, axis=1
+        )
+        assert np.array_equal(batch, expected)
+
+    def test_all_false(self, k5):
+        out = k5.neighbor_counts_batch(np.zeros((5, 3), dtype=bool))
+        assert out.shape == (5, 3)
+        assert not out.any()
+
+    def test_single_column_matches_matvec(self, gnp_small, rng):
+        mask = rng.random(gnp_small.n) < 0.2
+        batch = gnp_small.neighbor_counts_batch(mask[:, None])
+        assert np.array_equal(batch[:, 0], gnp_small.neighbor_counts(mask))
+
+    def test_shape_check(self, k5):
+        with pytest.raises(GraphError, match="shape"):
+            k5.neighbor_counts_batch(np.zeros((4, 2), dtype=bool))
+        with pytest.raises(GraphError, match="shape"):
+            k5.neighbor_counts_batch(np.zeros(5, dtype=bool))
+
 
 class TestSubgraph:
     def test_induced_subgraph(self, k5):

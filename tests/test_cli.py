@@ -21,6 +21,19 @@ class TestParser:
         assert args.full is False
         assert args.seed == 0
         assert args.markdown is False
+        assert args.jobs is None  # legacy sequential path by default
+
+    def test_jobs_flag(self):
+        args = build_parser().parse_args(["run", "E4", "--jobs", "4"])
+        assert args.jobs == 4
+        args = build_parser().parse_args(["run-all", "--jobs", "2", "--only", "E4,E5"])
+        assert args.jobs == 2
+        assert args.only == "E4,E5"
+
+    def test_run_all_only_default(self):
+        args = build_parser().parse_args(["run-all"])
+        assert args.only is None
+        assert args.jobs is None
 
 
 class TestCommands:
@@ -59,6 +72,25 @@ class TestCommands:
         text = out_file.read_text()
         for i in range(1, 13):
             assert f"### E{i}" in text
+
+
+class TestJobs:
+    def test_jobs_rejects_zero(self, capsys):
+        assert main(["run", "E7", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+        assert main(["run-all", "--only", "E7", "--jobs", "0"]) == 2
+
+    def test_run_with_jobs(self, capsys):
+        assert main(["run", "E7", "--jobs", "1"]) == 0
+        assert "[E7]" in capsys.readouterr().out
+
+    def test_run_all_only_with_jobs_identity(self, tmp_path, capsys):
+        out1 = tmp_path / "j1.md"
+        out2 = tmp_path / "j2.md"
+        assert main(["run-all", "--only", "E7", "--jobs", "1", "--seed", "5", "--out", str(out1)]) == 0
+        assert main(["run-all", "--only", "E7", "--jobs", "2", "--seed", "5", "--out", str(out2)]) == 0
+        assert out1.read_text() == out2.read_text()
+        assert "[E7]" in out1.read_text()
 
 
 class TestRunOut:
