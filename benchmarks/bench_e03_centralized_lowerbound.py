@@ -1,6 +1,5 @@
 """E3 — Theorem 6: survival of uninformed nodes under short schedules."""
 
-import numpy as np
 
 from repro.experiments import run_experiment
 

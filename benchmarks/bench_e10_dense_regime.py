@@ -1,6 +1,5 @@
 """E10 — dense regime: Θ(ln n / ln(1/f)) rounds for p = 1 - f(n)."""
 
-import numpy as np
 
 from repro.experiments import run_experiment
 

@@ -1,6 +1,5 @@
 """E12 — graph-family robustness: the diameter penalty outside expanders."""
 
-import numpy as np
 
 from repro.experiments import run_experiment
 

@@ -1,6 +1,5 @@
 """E16 — adaptive age-based protocol vs the oblivious class."""
 
-import numpy as np
 
 from repro.experiments import run_experiment
 

@@ -1,6 +1,5 @@
 """E17 — degree heterogeneity: power-law degrees break the 1/d tuning."""
 
-import numpy as np
 
 from repro.experiments import run_experiment
 

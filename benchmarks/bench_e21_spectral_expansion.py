@@ -1,6 +1,5 @@
 """E21 — spectral gap vs broadcast time across graph families."""
 
-import numpy as np
 
 from repro.experiments import run_experiment
 

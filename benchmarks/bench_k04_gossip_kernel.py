@@ -1,6 +1,5 @@
 """K4 — engineering: gossip knowledge-matrix round throughput."""
 
-import numpy as np
 import pytest
 
 from repro.broadcast.distributed import UniformProtocol

@@ -1,0 +1,161 @@
+"""K6 — engineering: batched gossip-family sweep throughput.
+
+Measures the serial vs batched ``gossip_times`` / ``multimessage_times``
+paths in trial-rounds per second (one trial-round = advancing one
+Monte-Carlo gossip trial by one radio round).  The batched path runs all
+repetitions in vectorized lockstep with informer extraction
+(:func:`repro.gossip.batch.run_gossip_batch`); the serial proxy forces
+the pre-refactor per-trial loop.  The two paths are asserted equal here
+and pinned bit-for-bit by ``tests/radio/test_dynamics.py``.
+
+Also runnable as a script for the CI artifact::
+
+    PYTHONPATH=src python benchmarks/bench_k06_gossip_kernel.py --quick \\
+        --out BENCH_gossip.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.broadcast.distributed.uniform import UniformProtocol
+from repro.experiments.runner import gossip_times, multimessage_times
+from repro.graphs import gnp_connected
+from repro.radio import FunctionProtocol, RadioNetwork
+
+
+def make_case(n: int, seed: int = 1):
+    d = 4.0 * math.log(n)
+    net = RadioNetwork(gnp_connected(n, d / n, seed=seed))
+    net.adj.matrix()
+    return net, UniformProtocol(min(1.0, 1.0 / d))
+
+
+def serial_proxy(protocol) -> FunctionProtocol:
+    """Non-batch twin: same draws, per-trial ``simulate_gossip`` path."""
+    proxy = FunctionProtocol(protocol.transmit_mask, name=f"serial-{protocol.name}")
+    proxy.prepare = protocol.prepare
+    return proxy
+
+
+def measure_throughput(n: int, repetitions: int, *, tokens: int | None = None, seed: int = 123) -> dict:
+    """Trial-rounds/sec of both paths plus the speedup, with equality check."""
+    net, proto = make_case(n)
+    if tokens is None:
+        kwargs = dict(repetitions=repetitions, seed=seed, max_rounds=8192)
+        times = lambda protocol: gossip_times(net, protocol, **kwargs)  # noqa: E731
+    else:
+        sources = np.arange(tokens, dtype=np.int64)
+        kwargs = dict(repetitions=repetitions, seed=seed, max_rounds=8192)
+        times = lambda protocol: multimessage_times(net, protocol, sources, **kwargs)  # noqa: E731
+
+    start = time.perf_counter()
+    serial = times(serial_proxy(proto))
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = times(proto)
+    t_batch = time.perf_counter() - start
+
+    if not np.array_equal(serial, batch):
+        raise AssertionError("batched gossip path diverged from serial path")
+    trial_rounds = float(np.sum(np.where(np.isfinite(serial), serial, 8192)))
+    return {
+        "n": n,
+        "tokens": n if tokens is None else tokens,
+        "repetitions": repetitions,
+        "trial_rounds": trial_rounds,
+        "serial_seconds": t_serial,
+        "batch_seconds": t_batch,
+        "serial_trial_rounds_per_sec": trial_rounds / t_serial,
+        "batch_trial_rounds_per_sec": trial_rounds / t_batch,
+        "speedup": t_serial / t_batch,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module", params=[256, 512], ids=["n256", "n512"])
+def gossip_case(request):
+    return make_case(request.param)
+
+
+def test_k06_batch_path(benchmark, gossip_case):
+    net, proto = gossip_case
+    rounds = benchmark(
+        gossip_times, net, proto, repetitions=8, seed=123, max_rounds=8192
+    )
+    assert rounds.shape == (8,)
+
+
+def test_k06_serial_path(benchmark, gossip_case):
+    net, proto = gossip_case
+    rounds = benchmark(
+        gossip_times,
+        net,
+        serial_proxy(proto),
+        repetitions=8,
+        seed=123,
+        max_rounds=8192,
+    )
+    assert rounds.shape == (8,)
+
+
+def test_k06_speedup_at_acceptance_point():
+    stats = measure_throughput(512, 8)
+    print(
+        f"\nn=512 R=8 gossip: serial={stats['serial_trial_rounds_per_sec']:,.0f} "
+        f"tr/s, batch={stats['batch_trial_rounds_per_sec']:,.0f} tr/s, "
+        f"speedup={stats['speedup']:.2f}x"
+    )
+    assert stats["speedup"] >= 2.0
+
+
+# ----------------------------------------------------------------------
+# Script mode: emit the CI gossip-throughput artifact
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="batched gossip sweep throughput bench")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer repetitions per size (CI budget)",
+    )
+    parser.add_argument("--out", default=None, help="write JSON results to this path")
+    args = parser.parse_args(argv)
+
+    reps = 8 if args.quick else 16
+    results = [measure_throughput(n, reps) for n in (256, 512)]
+    results.append(measure_throughput(512, reps, tokens=16))
+    payload = {
+        "benchmark": "k06_gossip_kernel",
+        "mode": "quick" if args.quick else "full",
+        "results": results,
+    }
+    for row in results:
+        print(
+            f"n={row['n']:>5}  k={row['tokens']:>4}  R={row['repetitions']}  "
+            f"serial={row['serial_trial_rounds_per_sec']:>10,.0f} tr/s  "
+            f"batch={row['batch_trial_rounds_per_sec']:>10,.0f} tr/s  "
+            f"speedup={row['speedup']:.2f}x"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

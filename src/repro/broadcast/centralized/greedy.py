@@ -10,7 +10,6 @@ competitive with the Theorem 5 schedule on random graphs but without its
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..._typing import SeedLike
 from ...errors import ScheduleError

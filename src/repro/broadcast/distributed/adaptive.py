@@ -18,7 +18,6 @@ a constant rate without knowing the topology.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro list
+    python -m repro dynamics
     python -m repro describe E4
     python -m repro run E4 --full --seed 7
     python -m repro run E14 --checkpoint ckpt/ --resume
@@ -32,6 +33,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list catalogued experiments")
+
+    sub.add_parser("dynamics", help="list registered dissemination dynamics")
 
     p_desc = sub.add_parser("describe", help="show one experiment's claim and bench target")
     p_desc.add_argument("experiment", help="experiment id, e.g. E4")
@@ -101,6 +104,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         for spec in EXPERIMENTS.values():
             print(f"{spec.experiment_id:>4}  {spec.title}")
+        return 0
+
+    if args.command == "dynamics":
+        # Importing the packages populates the registry via subclassing.
+        import repro.gossip  # noqa: F401
+        import repro.singleport  # noqa: F401
+
+        from .radio.dynamics import DYNAMICS_REGISTRY
+
+        for name, cls in sorted(DYNAMICS_REGISTRY.items()):
+            flags = []
+            if cls.supports_faults:
+                flags.append("fault-aware")
+            suffix = f"  [{', '.join(flags)}]" if flags else ""
+            print(f"{name:>12}  {cls.summary}{suffix}")
         return 0
 
     if args.command == "describe":

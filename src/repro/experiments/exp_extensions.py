@@ -34,12 +34,12 @@ from ..faults import (
     SpuriousNoiseModel,
     simulate_broadcast_faulty,
 )
-from ..gossip import simulate_gossip
-from ..graphs.geometric import connectivity_radius, random_geometric_connected
+from ..gossip import run_gossip_batch
+from ..graphs.geometric import random_geometric_connected
 from ..graphs.properties import diameter
 from ..graphs.random_graphs import gnp_connected
 from ..radio.model import RadioNetwork
-from ..rng import derive_generator, spawn_generators
+from ..rng import derive_generator
 from ..theory.fitting import linear_fit
 from .resilient import run_resilient_sweep
 from .runner import ExperimentResult, protocol_times
@@ -89,11 +89,18 @@ def e13_gossiping(quick: bool = True, seed: SeedLike = 0) -> ExperimentResult:
         g = gnp_connected(n, p, derive_generator(seed, 1, i))
         net = RadioNetwork(g)
         q = min(1.0, 1.0 / d)
-        gossip_rounds, first_complete = [], []
-        for rng in spawn_generators(derive_generator(seed, 2, i), reps):
-            trace = simulate_gossip(net, UniformProtocol(q), seed=rng, max_rounds=20000)
-            gossip_rounds.append(trace.completion_round)
-            first_complete.append(trace.rounds_until_first_complete_node())
+        # Batched lockstep gossip: bit-for-bit what the serial per-trial
+        # loop over spawned streams produced, at a fraction of the cost.
+        gossip = run_gossip_batch(
+            net,
+            UniformProtocol(q),
+            repetitions=reps,
+            seed=derive_generator(seed, 2, i),
+            max_rounds=20000,
+            with_first_complete=True,
+        )
+        gossip_rounds = gossip.completion_rounds
+        first_complete = gossip.first_complete_rounds
         bcast = protocol_times(
             net, UniformProtocol(q), repetitions=reps,
             seed=derive_generator(seed, 3, i), max_rounds=20000,

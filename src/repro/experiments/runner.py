@@ -9,6 +9,9 @@ import numpy as np
 
 from .._typing import SeedLike
 from ..errors import BroadcastIncompleteError
+from ..gossip.batch import run_gossip_batch, run_multimessage_batch
+from ..gossip.multimessage import simulate_multimessage
+from ..gossip.simulator import simulate_gossip
 from ..radio.engine import run_broadcast_batch
 from ..radio.model import RadioNetwork
 from ..radio.protocol import RadioProtocol
@@ -17,7 +20,14 @@ from ..rng import spawn_generators
 from ..theory.fitting import FitResult
 from .report import format_markdown_table, format_table
 
-__all__ = ["ExperimentResult", "aggregate", "protocol_times", "scheduler_rounds"]
+__all__ = [
+    "ExperimentResult",
+    "aggregate",
+    "protocol_times",
+    "gossip_times",
+    "multimessage_times",
+    "scheduler_rounds",
+]
 
 
 @dataclass
@@ -172,6 +182,151 @@ def protocol_times(
     if with_fractions:
         return out, fractions
     return out
+
+
+def _knowledge_times_serial(
+    simulate,
+    repetitions: int,
+    seed: SeedLike,
+    tokens: int,
+    n: int,
+    with_fractions: bool,
+):
+    out = np.empty(repetitions, dtype=float)
+    fractions = np.empty(repetitions, dtype=float)
+    for i, rng in enumerate(spawn_generators(seed, repetitions)):
+        try:
+            trace = simulate(rng)
+            out[i] = trace.completion_round
+            fractions[i] = 1.0
+        except BroadcastIncompleteError as exc:
+            out[i] = np.inf
+            counts = getattr(exc.trace, "knowledge_counts", None)
+            fractions[i] = (
+                float(np.sum(counts)) / float(n * tokens) if counts is not None else 0.0
+            )
+    if with_fractions:
+        return out, fractions
+    return out
+
+
+def gossip_times(
+    network: RadioNetwork,
+    protocol: RadioProtocol,
+    *,
+    repetitions: int,
+    seed: SeedLike,
+    max_rounds: int | None = None,
+    p: float | None = None,
+    check_connected: bool = True,
+    faults=None,
+    with_fractions: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Gossip completion times over repetitions; ``inf`` for budget misses.
+
+    The gossip twin of :func:`protocol_times`, with identical dispatch:
+    ``supports_batch`` protocols on fault-free runs are measured on the
+    batched lockstep engine
+    (:func:`~repro.gossip.batch.run_gossip_batch`), everything else —
+    including any run with an active ``faults`` plan — falls back to
+    serial :func:`~repro.gossip.simulator.simulate_gossip` over spawned
+    per-trial streams.  The two paths are bit-for-bit identical.
+    ``with_fractions=True`` additionally returns the per-trial final
+    fraction of known (node, rumor) pairs.
+    """
+    fault_free = faults is None or getattr(faults, "is_null", False)
+    if (
+        repetitions >= 1
+        and fault_free
+        and getattr(protocol, "supports_batch", False)
+    ):
+        batch = run_gossip_batch(
+            network,
+            protocol,
+            repetitions=repetitions,
+            p=p,
+            seed=seed,
+            max_rounds=max_rounds,
+            check_connected=check_connected,
+        )
+        if with_fractions:
+            return batch.completion_rounds, batch.knowledge_fractions
+        return batch.completion_rounds
+    return _knowledge_times_serial(
+        lambda rng: simulate_gossip(
+            network,
+            protocol,
+            p=p,
+            seed=rng,
+            max_rounds=max_rounds,
+            check_connected=check_connected,
+            faults=faults,
+        ),
+        repetitions,
+        seed,
+        network.n,
+        network.n,
+        with_fractions,
+    )
+
+
+def multimessage_times(
+    network: RadioNetwork,
+    protocol: RadioProtocol,
+    sources,
+    *,
+    repetitions: int,
+    seed: SeedLike,
+    max_rounds: int | None = None,
+    p: float | None = None,
+    check_connected: bool = True,
+    faults=None,
+    with_fractions: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """k-token completion times over repetitions; ``inf`` for budget misses.
+
+    Dispatch mirrors :func:`gossip_times`: fault-free ``supports_batch``
+    runs use :func:`~repro.gossip.batch.run_multimessage_batch`, the rest
+    serial :func:`~repro.gossip.multimessage.simulate_multimessage`.  All
+    repetitions share the ``sources`` token placement.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    fault_free = faults is None or getattr(faults, "is_null", False)
+    if (
+        repetitions >= 1
+        and fault_free
+        and getattr(protocol, "supports_batch", False)
+    ):
+        batch = run_multimessage_batch(
+            network,
+            protocol,
+            sources,
+            repetitions=repetitions,
+            p=p,
+            seed=seed,
+            max_rounds=max_rounds,
+            check_connected=check_connected,
+        )
+        if with_fractions:
+            return batch.completion_rounds, batch.knowledge_fractions
+        return batch.completion_rounds
+    return _knowledge_times_serial(
+        lambda rng: simulate_multimessage(
+            network,
+            protocol,
+            sources,
+            p=p,
+            seed=rng,
+            max_rounds=max_rounds,
+            check_connected=check_connected,
+            faults=faults,
+        ),
+        repetitions,
+        seed,
+        int(sources.size),
+        network.n,
+        with_fractions,
+    )
 
 
 def scheduler_rounds(

@@ -106,11 +106,18 @@ class LossyLinkModel:
         transmitting: BoolArray,
         carrying: BoolArray,
         rng: np.random.Generator,
-    ) -> tuple[np.ndarray, np.ndarray]:
+        *,
+        with_informer: bool = False,
+    ) -> tuple[np.ndarray, ...]:
         """Per-node (total, message) arrival counts for one faulty round.
 
         Each surviving directed delivery ``u -> v`` requires ``u``
-        transmitting and the (directed) link up this round.
+        transmitting and the (directed) link up this round.  With
+        ``with_informer`` a third array is returned holding, per node, the
+        sum of ``sender + 1`` over live message-carrying arrivals — where
+        exactly one such arrival landed (the reception rule), that sum is
+        the informer's id plus one.  The RNG draws are identical either
+        way, so informer extraction never perturbs the stream.
         """
         u = self._edges[:, 0]
         v = self._edges[:, 1]
@@ -127,16 +134,22 @@ class LossyLinkModel:
             up_uv = up_vu = up
         total = np.zeros(n, dtype=np.int64)
         message = np.zeros(n, dtype=np.int64)
+        informer_sum = np.zeros(n, dtype=np.int64) if with_informer else None
         # u -> v deliveries.
         live = up_uv & transmitting[u]
         np.add.at(total, v[live], 1)
         live_msg = live & carrying[u]
         np.add.at(message, v[live_msg], 1)
+        if with_informer:
+            np.add.at(informer_sum, v[live_msg], u[live_msg] + 1)
         # v -> u deliveries.
         live = up_vu & transmitting[v]
         np.add.at(total, u[live], 1)
         live_msg = live & carrying[v]
         np.add.at(message, u[live_msg], 1)
+        if with_informer:
+            np.add.at(informer_sum, u[live_msg], v[live_msg] + 1)
+            return total, message, informer_sum
         return total, message
 
     def __repr__(self) -> str:

@@ -15,6 +15,13 @@ transmits.
   experiment E13.
 """
 
+from .batch import BatchGossipResult, run_gossip_batch, run_multimessage_batch
+from .dynamics import (
+    GossipDynamics,
+    KnowledgeDynamics,
+    MultiMessageDynamics,
+    default_gossip_round_cap,
+)
 from .multimessage import multimessage_time, simulate_multimessage
 from .simulator import gossip_time, simulate_gossip
 from .trace import GossipRoundRecord, GossipTrace
@@ -24,6 +31,13 @@ __all__ = [
     "gossip_time",
     "simulate_multimessage",
     "multimessage_time",
+    "run_gossip_batch",
+    "run_multimessage_batch",
+    "BatchGossipResult",
+    "KnowledgeDynamics",
+    "GossipDynamics",
+    "MultiMessageDynamics",
+    "default_gossip_round_cap",
     "GossipTrace",
     "GossipRoundRecord",
 ]

@@ -1,0 +1,271 @@
+"""Batched multi-trial gossip and k-token dissemination.
+
+The gossip analogue of :func:`repro.radio.engine.run_broadcast_batch`:
+``R`` independent fault-free trials advance in vectorized lockstep, one
+batched count kernel per round (:meth:`RadioNetwork.step_batch` with
+informer extraction) instead of one sparse matvec per trial.  Knowledge
+merging stays per-trial (a row-gather OR over each trial's receivers) —
+the batable cost is the channel, and that is where the serial path spends
+its time.
+
+Bit-for-bit equivalence: trial ``r`` consumes exactly the RNG draws its
+serial :func:`~repro.gossip.simulator.simulate_gossip` /
+:func:`~repro.gossip.multimessage.simulate_multimessage` counterpart
+seeded with ``spawn_generators(seed, R)[r]`` would — protocols draw one
+``random(n)`` block per *active* trial per round and a completed trial
+stops drawing.  ``tests/gossip/test_batch`` pins this.
+
+Like the broadcast batch engine, this path keeps no per-round traces;
+it exists for Monte-Carlo timing sweeps (E13, E20, K6).  Fault plans are
+serial-only — :func:`~repro.experiments.runner.gossip_times` dispatches
+accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._typing import BoolArray, FloatArray, IntArray, SeedLike
+from ..errors import DisconnectedGraphError, InvalidParameterError
+from ..graphs.bfs import bfs_distances
+from ..radio.model import RadioNetwork
+from ..radio.protocol import RadioProtocol
+from ..rng import spawn_generators
+from .dynamics import check_sources, default_gossip_round_cap
+
+__all__ = ["BatchGossipResult", "run_gossip_batch", "run_multimessage_batch"]
+
+
+@dataclass(frozen=True)
+class BatchGossipResult:
+    """Per-trial outcomes of a batched gossip / k-token run.
+
+    Attributes
+    ----------
+    n: network size.
+    num_tokens: tokens in play (``n`` for full gossip).
+    completion_rounds: shape ``(R,)``; trial ``r``'s completion round, or
+        ``inf`` when it exhausted the round budget.
+    knowledge_fractions: shape ``(R,)``; final fraction of the ``n * k``
+        (node, token) pairs known per trial (1.0 for completed trials).
+    first_complete_rounds: shape ``(R,)`` or ``None``; round after which
+        some node first knew every token (``inf`` if never observed).
+        Tracked only when requested — it is the accumulate-vs-disseminate
+        split E13 reports.
+    rounds_executed: lockstep rounds the engine ran.
+    """
+
+    n: int
+    num_tokens: int
+    completion_rounds: FloatArray
+    knowledge_fractions: FloatArray
+    first_complete_rounds: FloatArray | None
+    rounds_executed: int
+
+    @property
+    def repetitions(self) -> int:
+        """Number of trials in the batch."""
+        return int(self.completion_rounds.size)
+
+    @property
+    def completed(self) -> BoolArray:
+        """Mask of trials where every node learned every token in budget."""
+        return np.isfinite(self.completion_rounds)
+
+    @property
+    def num_completed(self) -> int:
+        return int(np.count_nonzero(self.completed))
+
+
+def _run_knowledge_batch(
+    network: RadioNetwork,
+    protocol: RadioProtocol,
+    sources: IntArray | None,
+    *,
+    repetitions: int,
+    p: float | None,
+    seed: SeedLike,
+    max_rounds: int | None,
+    check_connected: bool,
+    with_first_complete: bool,
+) -> BatchGossipResult:
+    n = network.n
+    if repetitions < 1:
+        raise InvalidParameterError(f"repetitions must be >= 1, got {repetitions}")
+    root = 0 if sources is None else int(sources[0])
+    if check_connected and np.any(bfs_distances(network.adj, root) < 0):
+        raise DisconnectedGraphError(
+            "network is disconnected; gossip cannot complete"
+            if sources is None
+            else "network is disconnected; dissemination cannot complete"
+        )
+    if max_rounds is None:
+        max_rounds = default_gossip_round_cap(n)
+    rngs = spawn_generators(seed, repetitions)
+    protocol.prepare(n, p, root)
+
+    # Trial-major state, compacted as trials finish — the same layout
+    # discipline as ``run_broadcast_batch``.  ``knowledge`` is (R, n, k);
+    # for full gossip k = n, so mind the memory (R * n² booleans).
+    if sources is None:
+        k = n
+        knowledge = np.broadcast_to(np.eye(n, dtype=bool), (repetitions, n, n)).copy()
+        has_round = np.zeros((repetitions, n), dtype=np.int64)
+    else:
+        k = sources.size
+        base = np.zeros((n, k), dtype=bool)
+        base[sources, np.arange(k)] = True
+        knowledge = np.broadcast_to(base, (repetitions, n, k)).copy()
+        base_round = np.full(n, -1, dtype=np.int64)
+        base_round[sources] = 0
+        has_round = np.broadcast_to(base_round, (repetitions, n)).copy()
+
+    trial_ids = np.arange(repetitions, dtype=np.int64)
+    completion = np.full(repetitions, np.inf)
+    first_complete = np.full(repetitions, np.inf) if with_first_complete else None
+
+    def note_first_complete(t: float) -> None:
+        unseen = np.isinf(first_complete[trial_ids])
+        if unseen.any():
+            node_done = knowledge.all(axis=2).any(axis=1)
+            hits = unseen & node_done
+            if hits.any():
+                first_complete[trial_ids[hits]] = t
+
+    # Degenerate initial completion (n == 1, or every source row full)
+    # finishes at round 0 before any draw, as the serial loop's top check
+    # would.
+    if with_first_complete:
+        note_first_complete(0.0)
+    done0 = knowledge.all(axis=(1, 2))
+    if done0.any():
+        completion[trial_ids[done0]] = 0.0
+        keep = ~done0
+        knowledge = knowledge[keep]
+        has_round = has_round[keep]
+        trial_ids = trial_ids[keep]
+        rngs = [rngs[r] for r in np.flatnonzero(keep)]
+
+    rounds_executed = 0
+    for t in range(1, max_rounds + 1):
+        if trial_ids.size == 0:
+            break
+        rounds_executed = t
+        has = knowledge.any(axis=2)  # (R_active, n) content holders
+        mask = np.asarray(
+            protocol.transmit_mask_batch(t, has.T, has_round.T, rngs), dtype=bool
+        )
+        rows = mask.T
+        if not rows.flags.c_contiguous:
+            rows = np.ascontiguousarray(rows)
+        rows = rows & has
+        step = network.step_batch(
+            rows.T,
+            has.T,
+            with_collided=False,
+            with_transmitters=False,
+            assume_informed=True,
+            with_informer=True,
+        )
+        received = step.received
+        informer = step.informer
+        # Knowledge merging is inherently per-trial: each trial gathers
+        # its own sender rows.  The loop body is O(receivers · k), tiny
+        # next to the batched channel kernel above.
+        for idx in range(trial_ids.size):
+            recv = np.flatnonzero(received[:, idx])
+            if recv.size:
+                K = knowledge[idx]
+                K[recv] |= K[informer[recv, idx]]
+                if sources is not None:
+                    fresh = recv[has_round[idx, recv] < 0]
+                    has_round[idx, fresh] = t
+        if with_first_complete:
+            note_first_complete(float(t))
+        finished = knowledge.all(axis=(1, 2))
+        if finished.any():
+            completion[trial_ids[finished]] = float(t)
+            keep = ~finished
+            knowledge = knowledge[keep]
+            has_round = has_round[keep]
+            trial_ids = trial_ids[keep]
+            rngs = [rngs[r] for r in np.flatnonzero(keep)]
+
+    fractions = np.ones(repetitions)
+    if trial_ids.size:
+        fractions[trial_ids] = knowledge.sum(axis=(1, 2)) / float(n * k)
+    return BatchGossipResult(
+        n=n,
+        num_tokens=k,
+        completion_rounds=completion,
+        knowledge_fractions=fractions,
+        first_complete_rounds=first_complete,
+        rounds_executed=rounds_executed,
+    )
+
+
+def run_gossip_batch(
+    network: RadioNetwork,
+    protocol: RadioProtocol,
+    *,
+    repetitions: int,
+    p: float | None = None,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    check_connected: bool = True,
+    with_first_complete: bool = False,
+) -> BatchGossipResult:
+    """Run ``repetitions`` independent healthy gossip trials in lockstep.
+
+    Bit-for-bit equivalent to ``repetitions`` sequential
+    :func:`~repro.gossip.simulator.simulate_gossip` calls seeded with
+    ``spawn_generators(seed, repetitions)``; see the module docstring.
+    Trials that exhaust the budget report ``inf`` completion rounds
+    instead of raising.
+    """
+    return _run_knowledge_batch(
+        network,
+        protocol,
+        None,
+        repetitions=repetitions,
+        p=p,
+        seed=seed,
+        max_rounds=max_rounds,
+        check_connected=check_connected,
+        with_first_complete=with_first_complete,
+    )
+
+
+def run_multimessage_batch(
+    network: RadioNetwork,
+    protocol: RadioProtocol,
+    sources,
+    *,
+    repetitions: int,
+    p: float | None = None,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    check_connected: bool = True,
+    with_first_complete: bool = False,
+) -> BatchGossipResult:
+    """Run ``repetitions`` independent healthy k-token trials in lockstep.
+
+    All trials share the ``sources`` token placement; per-trial source
+    draws need the serial path.  Bit-for-bit equivalent to sequential
+    :func:`~repro.gossip.multimessage.simulate_multimessage` calls seeded
+    with ``spawn_generators(seed, repetitions)``.
+    """
+    sources = check_sources(sources, network.n)
+    return _run_knowledge_batch(
+        network,
+        protocol,
+        sources,
+        repetitions=repetitions,
+        p=p,
+        seed=seed,
+        max_rounds=max_rounds,
+        check_connected=check_connected,
+        with_first_complete=with_first_complete,
+    )

@@ -9,20 +9,22 @@ Experiment E20 sweeps ``k`` to watch broadcast's `O(ln n)` morph into
 gossip's `Θ(d ln n)`: the cost is injection — each *token holder* must
 win the channel at least once — so time grows with ``k`` until the
 holders saturate the channel.
+
+The round loop lives in :func:`repro.radio.dynamics.run_dissemination`
+(:class:`~repro.gossip.dynamics.MultiMessageDynamics` supplies the
+state), so k-token runs share broadcast's fault engine via ``faults=``;
+batched fault-free sweeps go through
+:func:`~repro.gossip.batch.run_multimessage_batch`.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from .._typing import IntArray, SeedLike
-from ..errors import BroadcastIncompleteError, DisconnectedGraphError, InvalidParameterError
-from ..graphs.bfs import bfs_distances
+from ..radio.dynamics import run_dissemination
 from ..radio.model import RadioNetwork
 from ..radio.protocol import RadioProtocol
-from ..rng import as_generator
-from .simulator import default_gossip_round_cap
-from .trace import GossipRoundRecord, GossipTrace
+from .dynamics import MultiMessageDynamics, check_sources
+from .trace import GossipTrace
 
 __all__ = ["simulate_multimessage", "multimessage_time"]
 
@@ -36,6 +38,8 @@ def simulate_multimessage(
     seed: SeedLike = None,
     max_rounds: int | None = None,
     check_connected: bool = True,
+    faults=None,
+    raise_on_incomplete: bool = True,
 ) -> GossipTrace:
     """Run k-token dissemination until every node knows every token.
 
@@ -46,64 +50,28 @@ def simulate_multimessage(
         allowed — one node may start with several tokens).
     protocol: transmit rule; its ``informed`` argument is "holds at least
         one token", and only such nodes ever transmit.
+    faults: optional :class:`~repro.faults.FaultPlan`; broadcast fault
+        semantics apply, rejoining nodes fall back to their initial token
+        endowment, and only tokens originating at eventually-alive nodes
+        are deliverable.
+    raise_on_incomplete: ``False`` returns the partial trace on a budget
+        miss instead of raising.
 
     Raises
     ------
     BroadcastIncompleteError
         On budget exhaustion (partial trace attached).
     """
-    n = network.n
-    sources = np.asarray(sources, dtype=np.int64)
-    if sources.ndim != 1 or sources.size < 1:
-        raise InvalidParameterError("sources must be a non-empty 1-D array of node ids")
-    if sources.min() < 0 or sources.max() >= n:
-        raise InvalidParameterError(f"source ids must lie in [0, {n})")
-    k = sources.size
-    if check_connected and np.any(bfs_distances(network.adj, int(sources[0])) < 0):
-        raise DisconnectedGraphError("network is disconnected; dissemination cannot complete")
-    if max_rounds is None:
-        max_rounds = default_gossip_round_cap(n)
-    rng = as_generator(seed)
-    protocol.prepare(n, p, int(sources[0]))
-    knowledge = np.zeros((n, k), dtype=bool)
-    knowledge[sources, np.arange(k)] = True
-    has_round = np.full(n, -1, dtype=np.int64)
-    has_round[sources] = 0
-    trace = GossipTrace(n=n, num_tokens=k)
-    for t in range(1, max_rounds + 1):
-        if bool(np.all(knowledge)):
-            break
-        has = knowledge.any(axis=1)
-        mask = np.asarray(
-            protocol.transmit_mask(t, has, has_round, rng), dtype=bool
-        )
-        mask &= has  # only token holders transmit content
-        result = network.step(mask, has)
-        receivers = np.flatnonzero(result.received)
-        if receivers.size:
-            senders = result.informer[receivers]
-            knowledge[receivers] |= knowledge[senders]
-            fresh = receivers[(has_round[receivers] < 0)]
-            has_round[fresh] = t
-        counts = knowledge.sum(axis=1)
-        trace.records.append(
-            GossipRoundRecord(
-                round_index=t,
-                num_transmitters=result.num_transmitters,
-                num_receivers=int(receivers.size),
-                pairs_known=int(counts.sum()),
-                min_knowledge=int(counts.min()),
-                nodes_complete=int(np.count_nonzero(counts == k)),
-            )
-        )
-    trace.knowledge_counts = knowledge.sum(axis=1).astype(np.int64)
-    if not trace.completed:
-        raise BroadcastIncompleteError(
-            f"{protocol.name}: {k}-token dissemination incomplete after "
-            f"{max_rounds} rounds",
-            trace=trace,
-        )
-    return trace
+    sources = check_sources(sources, network.n)
+    return run_dissemination(
+        network,
+        MultiMessageDynamics(protocol, sources, p),
+        plan=faults,
+        seed=seed,
+        max_rounds=max_rounds,
+        check_connected=check_connected,
+        raise_on_incomplete=raise_on_incomplete,
+    )
 
 
 def multimessage_time(

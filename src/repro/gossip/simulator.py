@@ -1,4 +1,4 @@
-"""The gossip simulator: knowledge-matrix dynamics over the radio kernel.
+"""The gossip entry points: knowledge-matrix dynamics over the shared core.
 
 State is the boolean knowledge matrix ``K`` with ``K[v, r]`` = "node v
 knows rumor r" (initially the identity).  One round:
@@ -13,28 +13,25 @@ knows rumor r" (initially the identity).  One round:
 Memory is ``n²`` booleans — a 4096-node network costs 16 MB, ample for
 the E13 ladder; the per-round cost is one sparse matvec plus one row-wise
 OR over the receivers.
+
+The round loop lives in :func:`repro.radio.dynamics.run_dissemination`
+(:class:`~repro.gossip.dynamics.GossipDynamics` supplies the state), so
+gossip shares broadcast's fault engine: pass ``faults=FaultPlan(...)``
+for crash/churn/jamming/noise/lossy-link runs.  For fault-free
+Monte-Carlo timing sweeps use :func:`~repro.gossip.batch.run_gossip_batch`
+or the dispatching :func:`~repro.experiments.runner.gossip_times`.
 """
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
-
 from .._typing import SeedLike
-from ..errors import BroadcastIncompleteError, DisconnectedGraphError
-from ..graphs.bfs import bfs_distances
+from ..radio.dynamics import run_dissemination
 from ..radio.model import RadioNetwork
 from ..radio.protocol import RadioProtocol
-from ..rng import as_generator
-from .trace import GossipRoundRecord, GossipTrace
+from .dynamics import GossipDynamics, default_gossip_round_cap
+from .trace import GossipTrace
 
 __all__ = ["simulate_gossip", "gossip_time", "default_gossip_round_cap"]
-
-
-def default_gossip_round_cap(n: int) -> int:
-    """Round budget: gossip needs both accumulate and disseminate phases."""
-    return 400 + 120 * max(1, math.ceil(math.log2(max(n, 2))))
 
 
 def simulate_gossip(
@@ -45,6 +42,8 @@ def simulate_gossip(
     seed: SeedLike = None,
     max_rounds: int | None = None,
     check_connected: bool = True,
+    faults=None,
+    raise_on_incomplete: bool = True,
 ) -> GossipTrace:
     """Run gossip until every node knows every rumor.
 
@@ -58,56 +57,27 @@ def simulate_gossip(
     p: edge-probability hint for :meth:`RadioProtocol.prepare`.
     seed: RNG seed/generator.
     max_rounds: budget; default :func:`default_gossip_round_cap`.
+    faults: optional :class:`~repro.faults.FaultPlan`; semantics follow
+        broadcast (docs/FAULTS.md) with rejoining nodes falling back to
+        their own rumor, and completion/deliverability restricted to the
+        eventually-alive target set.
+    raise_on_incomplete: ``False`` returns the partial trace on a budget
+        miss instead of raising.
 
     Raises
     ------
     BroadcastIncompleteError
         When the budget runs out (the partial trace is attached).
     """
-    n = network.n
-    if check_connected and np.any(bfs_distances(network.adj, 0) < 0):
-        raise DisconnectedGraphError(
-            "network is disconnected; gossip cannot complete"
-        )
-    if max_rounds is None:
-        max_rounds = default_gossip_round_cap(n)
-    rng = as_generator(seed)
-    protocol.prepare(n, p, 0)
-    knowledge = np.eye(n, dtype=bool)
-    all_informed = np.ones(n, dtype=bool)
-    zero_round = np.zeros(n, dtype=np.int64)
-    trace = GossipTrace(n=n)
-    for t in range(1, max_rounds + 1):
-        if bool(np.all(knowledge)):
-            break
-        mask = np.asarray(
-            protocol.transmit_mask(t, all_informed, zero_round, rng), dtype=bool
-        )
-        result = network.step(mask, all_informed)
-        receivers = np.flatnonzero(result.received)
-        if receivers.size:
-            senders = result.informer[receivers]
-            # Synchronous merge: OR in the senders' rows as of round start.
-            knowledge[receivers] |= knowledge[senders]
-        counts = knowledge.sum(axis=1)
-        trace.records.append(
-            GossipRoundRecord(
-                round_index=t,
-                num_transmitters=result.num_transmitters,
-                num_receivers=int(receivers.size),
-                pairs_known=int(counts.sum()),
-                min_knowledge=int(counts.min()),
-                nodes_complete=int(np.count_nonzero(counts == n)),
-            )
-        )
-    trace.knowledge_counts = knowledge.sum(axis=1).astype(np.int64)
-    if not trace.completed:
-        raise BroadcastIncompleteError(
-            f"{protocol.name}: gossip incomplete after {max_rounds} rounds "
-            f"(min knowledge {int(trace.knowledge_counts.min())}/{n})",
-            trace=trace,
-        )
-    return trace
+    return run_dissemination(
+        network,
+        GossipDynamics(protocol, p),
+        plan=faults,
+        seed=seed,
+        max_rounds=max_rounds,
+        check_connected=check_connected,
+        raise_on_incomplete=raise_on_incomplete,
+    )
 
 
 def gossip_time(

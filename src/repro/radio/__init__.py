@@ -11,7 +11,11 @@ Nodes get no collision detection feedback.
   schedules produced by centralized algorithms, plus executor/verifier.
 * :class:`~repro.radio.protocol.RadioProtocol` — distributed protocols as
   per-round transmit-probability rules over local knowledge.
-* :func:`~repro.radio.engine.run_broadcast` — the unified round engine
+* :mod:`~repro.radio.dynamics` — the unified dissemination core: the
+  :class:`~repro.radio.dynamics.Dynamics` state machine and the one
+  shared round driver :func:`~repro.radio.dynamics.run_dissemination`
+  behind broadcast, gossip, multi-message and single-port spreading.
+* :func:`~repro.radio.engine.run_broadcast` — broadcast over the core
   (healthy runs and fault plans share it).
 * :func:`~repro.radio.simulator.simulate_broadcast` — the zero-fault
   driver over the engine.
@@ -23,6 +27,14 @@ from .analysis import (
     collision_profile,
     phase_summary,
     transmission_efficiency,
+)
+from .dynamics import (
+    DYNAMICS_REGISTRY,
+    BroadcastDynamics,
+    Dynamics,
+    RoundOutcome,
+    SingleMessageDynamics,
+    run_dissemination,
 )
 from .engine import BatchBroadcastResult, run_broadcast, run_broadcast_batch
 from .model import BatchStepResult, RadioNetwork, StepResult
@@ -40,6 +52,12 @@ __all__ = [
     "verify_schedule",
     "RadioProtocol",
     "FunctionProtocol",
+    "Dynamics",
+    "SingleMessageDynamics",
+    "BroadcastDynamics",
+    "RoundOutcome",
+    "DYNAMICS_REGISTRY",
+    "run_dissemination",
     "run_broadcast",
     "run_broadcast_batch",
     "BatchBroadcastResult",

@@ -1,0 +1,528 @@
+"""The unified dissemination core: one round loop for every process.
+
+The paper treats its communication problems as one family — gossiping is
+the Section 4 extension of broadcasting, ``k``-token dissemination spans
+the two, and single-port push (Feige et al., Section 1.2) is the
+collision-free baseline.  This module mirrors that architecturally: a
+:class:`Dynamics` object captures *what spreads and when it is done*
+(state init, per-round update from the channel outcome, completion
+predicate, trace-record emission), and :func:`run_dissemination` is the
+single driver owning everything the four historical loops duplicated —
+the round budget, the connectivity precheck, fault-plan application, the
+incomplete-run error path and trace assembly.
+
+Concrete dynamics:
+
+* :class:`BroadcastDynamics` (here) — single-message broadcast;
+* :class:`~repro.gossip.dynamics.GossipDynamics` — knowledge-matrix
+  gossip (every node a rumor);
+* :class:`~repro.gossip.dynamics.MultiMessageDynamics` — ``k``-token
+  dissemination;
+* :class:`~repro.singleport.push.PushDynamics` — single-port push and
+  push–pull;
+* :class:`~repro.singleport.agents.AgentDynamics` — random-walking
+  agents (no channel at all).
+
+``simulate_broadcast``, ``simulate_gossip``, ``simulate_multimessage``,
+``push_broadcast``, ``push_pull_broadcast`` and ``agent_broadcast`` are
+all thin wrappers over this driver, so every process shares the fault
+path: radio-channel dynamics (broadcast, gossip, multimessage) accept a
+:class:`~repro.faults.FaultPlan` with identical jammer / churn /
+lossy-link semantics (docs/FAULTS.md).
+
+The fault-plan interface is duck-typed so this module never imports
+:mod:`repro.faults`:
+
+* ``plan.is_null`` — True when the plan can never perturb a round;
+* ``plan.validate(n)`` — raise ``InvalidParameterError`` on size mismatch;
+* ``plan.target(n)`` — bool mask of nodes required for completion;
+* ``plan.alive_at(t, n)`` — bool mask of radios that are on;
+* ``plan.forget_at(t)`` — ids rejoining uninformed this round;
+* ``plan.garbage_mask(t, rng)`` — bool mask of noise transmitters, or
+  ``None`` (drawing nothing) when inactive;
+* ``plan.links`` — a ``LossyLinkModel`` or ``None``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._typing import BoolArray, IntArray, SeedLike
+from ..errors import (
+    BroadcastIncompleteError,
+    DisconnectedGraphError,
+    InvalidParameterError,
+)
+from ..graphs.bfs import bfs_distances
+from ..rng import as_generator
+from .model import RadioNetwork
+from .protocol import RadioProtocol
+from .trace import BroadcastTrace, RoundRecord
+
+__all__ = [
+    "DYNAMICS_REGISTRY",
+    "Dynamics",
+    "RoundOutcome",
+    "SingleMessageDynamics",
+    "BroadcastDynamics",
+    "run_dissemination",
+    "default_round_cap",
+]
+
+
+def default_round_cap(n: int) -> int:
+    """Generous default round budget for ``O(ln n)``-class protocols.
+
+    ``200 + 60 * log2(n)`` — an order of magnitude above the constants any
+    of the implemented protocols exhibit, so hitting it signals a stall
+    rather than bad luck.
+    """
+    return 200 + 60 * max(1, math.ceil(math.log2(max(n, 2))))
+
+
+#: All registered dynamics, keyed by :attr:`Dynamics.name`.  Populated by
+#: ``__init_subclass__`` as concrete dynamics classes are imported; the
+#: CLI's ``dynamics`` command imports the gossip/singleport packages and
+#: prints this table.
+DYNAMICS_REGISTRY: dict[str, type["Dynamics"]] = {}
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """What one channel round delivered, in dynamics-agnostic currency.
+
+    Attributes
+    ----------
+    receivers: ids of nodes that successfully received this round.  For
+        radio dynamics these are the collision-free listeners (possibly
+        already holding the content); point-to-point dynamics report the
+        newly reached nodes directly.
+    senders: informer ids aligned element-wise with ``receivers``, or
+        ``None`` when the channel did not track them (fault path with
+        ``needs_informer`` False, point-to-point channels).
+    num_transmitters: channel occupants this round (garbage transmitters
+        included under faults).
+    num_collided: listeners lost to collisions (0 in collision-free
+        models).
+    """
+
+    receivers: IntArray
+    senders: IntArray | None
+    num_transmitters: int
+    num_collided: int
+
+
+class Dynamics(ABC):
+    """State machine of one dissemination process under the shared driver.
+
+    A dynamics object owns *state* (who knows what), the *transmit rule*
+    (usually by delegating to a :class:`RadioProtocol`), the *completion
+    predicate* and the *trace vocabulary*; :func:`run_dissemination` owns
+    the loop around it.  Subclasses register themselves in
+    :data:`DYNAMICS_REGISTRY` under :attr:`name`.
+
+    Radio-channel dynamics implement :meth:`content_mask` and
+    :meth:`transmit_mask` and inherit the default :meth:`channel_step`
+    (the collision channel via :meth:`RadioNetwork.step`); point-to-point
+    dynamics override :meth:`channel_step` wholesale and never see the
+    radio kernel.  Only radio-channel dynamics can support fault plans.
+    """
+
+    #: Registry key and report label.
+    name: str = "dynamics"
+    #: One-line description shown by ``python -m repro dynamics``.
+    summary: str = ""
+    #: Whether the driver may apply an active fault plan to this dynamics.
+    supports_faults: bool = False
+    #: Whether :meth:`update` needs ``RoundOutcome.senders`` on the fault
+    #: path (the healthy radio channel always provides them for free).
+    needs_informer: bool = False
+    #: Root node for the driver's connectivity precheck.
+    connectivity_root: int = 0
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        # Leaf classes shadow intermediate bases under the same key; only
+        # names explicitly set on the class register.
+        if "name" in cls.__dict__:
+            DYNAMICS_REGISTRY[cls.name] = cls
+
+    # -- lifecycle -----------------------------------------------------
+
+    @abstractmethod
+    def start(self, network: RadioNetwork, rng: np.random.Generator,
+              fault_path: bool) -> None:
+        """Allocate run state (and prepare the protocol, if any)."""
+
+    @abstractmethod
+    def default_round_cap(self, n: int) -> int:
+        """Round budget used when the caller passes ``max_rounds=None``."""
+
+    # -- channel -------------------------------------------------------
+
+    def content_mask(self) -> BoolArray:
+        """Nodes currently holding transmittable content.
+
+        Required for radio-channel dynamics (the driver intersects the
+        protocol's mask with it, and with the alive set under faults).
+        """
+        raise NotImplementedError(f"{self.name} dynamics has no radio content mask")
+
+    def transmit_mask(self, t: int, rng: np.random.Generator) -> BoolArray:
+        """The protocol's transmit decision for round ``t`` (pre-intersection)."""
+        raise NotImplementedError(f"{self.name} dynamics has no radio transmit rule")
+
+    def channel_step(
+        self, t: int, network: RadioNetwork, rng: np.random.Generator
+    ) -> RoundOutcome:
+        """Execute one healthy channel round.
+
+        Default: the radio collision channel — protocol mask intersected
+        with the content holders, one :meth:`RadioNetwork.step`.
+        Point-to-point dynamics (single-port, agents) override this.
+        """
+        content = self.content_mask()
+        mask = np.asarray(self.transmit_mask(t, rng), dtype=bool) & content
+        result = network.step(mask, content)
+        receivers = np.flatnonzero(result.received)
+        return RoundOutcome(
+            receivers=receivers,
+            senders=result.informer[receivers],
+            num_transmitters=result.num_transmitters,
+            num_collided=result.num_collided,
+        )
+
+    # -- state updates -------------------------------------------------
+
+    def forget(self, ids: IntArray) -> None:
+        """Reset churned nodes rejoining uninformed (fault path only)."""
+        raise NotImplementedError(f"{self.name} dynamics does not support churn")
+
+    @abstractmethod
+    def update(self, t: int, outcome: RoundOutcome) -> None:
+        """Fold one round's deliveries into the state."""
+
+    @abstractmethod
+    def complete(self, target: BoolArray, full_target: bool) -> bool:
+        """Completion predicate relative to the (fault-aware) target set."""
+
+    # -- trace ---------------------------------------------------------
+
+    @abstractmethod
+    def make_trace(self):
+        """Fresh, empty trace object with a ``records`` list."""
+
+    @abstractmethod
+    def record(self, t: int, outcome: RoundOutcome):
+        """Per-round trace record appended by the driver."""
+
+    @abstractmethod
+    def finish(self, trace, target: BoolArray, full_target: bool,
+               finished: bool) -> None:
+        """Write final state into the trace (informed masks, counts...)."""
+
+    @abstractmethod
+    def incomplete_message(self, max_rounds: int, target: BoolArray,
+                           full_target: bool) -> str:
+        """Error text for a budget miss."""
+
+    def disconnected_message(self) -> str:
+        """Error text for the connectivity precheck."""
+        return (
+            f"not all nodes reachable from source {self.connectivity_root}; "
+            f"{self.name} cannot complete"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SingleMessageDynamics(Dynamics):
+    """Shared informed-mask state for single-message processes.
+
+    Broadcast over the radio channel, single-port push/push–pull and the
+    agent-based model all track the same state — ``informed`` /
+    ``informed_round`` — and emit :class:`RoundRecord` rows into a
+    :class:`BroadcastTrace`.  Subclasses provide the channel.
+    """
+
+    def __init__(self, source: int):
+        self.source = source
+        self.connectivity_root = source
+        self.informed: BoolArray | None = None
+        self.informed_round: IntArray | None = None
+        self._informer: IntArray | None = None
+        self._num_new = 0
+        self._n = 0
+
+    def start(self, network, rng, fault_path):
+        n = network.n
+        self._n = n
+        self.informed = np.zeros(n, dtype=bool)
+        self.informed[self.source] = True
+        self.informed_round = np.full(n, -1, dtype=np.int64)
+        self.informed_round[self.source] = 0
+
+    def content_mask(self):
+        return self.informed
+
+    def forget(self, ids):
+        self.informed[ids] = False
+        self.informed_round[ids] = -1
+
+    def update(self, t, outcome):
+        recv = outcome.receivers
+        if recv.size:
+            fresh = ~self.informed[recv]
+            new = recv[fresh]
+            if new.size:
+                if self._informer is not None and outcome.senders is not None:
+                    self._informer[new] = outcome.senders[fresh]
+                self.informed[new] = True
+                self.informed_round[new] = t
+            self._num_new = int(new.size)
+        else:
+            self._num_new = 0
+
+    def complete(self, target, full_target):
+        if full_target:
+            return bool(self.informed.all())
+        return bool(np.all(self.informed[target]))
+
+    def make_trace(self):
+        return BroadcastTrace(source=self.source, n=self._n)
+
+    def record(self, t, outcome):
+        return RoundRecord(
+            round_index=t,
+            num_transmitters=outcome.num_transmitters,
+            num_new=self._num_new,
+            num_collided=outcome.num_collided,
+            informed_after=int(np.count_nonzero(self.informed)),
+        )
+
+    def finish(self, trace, target, full_target, finished):
+        # Report completion relative to the target set: when all
+        # eventually-alive nodes are informed, permanently dead nodes
+        # (outside the deliverable set) are filled in as informed so
+        # ``trace.completed`` reads true.
+        if finished and not full_target:
+            trace.informed = self.informed | ~target
+        else:
+            trace.informed = self.informed
+        trace.informed_round = self.informed_round
+        trace.informer = self._informer
+
+    def incomplete_message(self, max_rounds, target, full_target):
+        return (
+            f"{self.name}: {int(np.count_nonzero(self.informed))}/{self._n} "
+            f"informed after {max_rounds} rounds"
+        )
+
+    def disconnected_message(self):
+        return (
+            f"not all nodes reachable from source {self.source}; "
+            "broadcast cannot complete"
+        )
+
+
+class BroadcastDynamics(SingleMessageDynamics):
+    """Single-message broadcast over the radio collision channel.
+
+    The protocol decides transmitters among the informed set; the driver
+    applies an optional fault plan.  On the healthy path the who-informed-
+    whom tree is recorded for :mod:`repro.radio.analysis`.
+    """
+
+    name = "broadcast"
+    summary = "single message, radio collision channel (paper Sections 1-3)"
+    supports_faults = True
+
+    def __init__(self, protocol: RadioProtocol, source: int, p: float | None = None):
+        super().__init__(source)
+        self.protocol = protocol
+        self.p = p
+
+    def default_round_cap(self, n):
+        return default_round_cap(n)
+
+    def start(self, network, rng, fault_path):
+        super().start(network, rng, fault_path)
+        self.protocol.prepare(network.n, self.p, self.source)
+        # Informer tracking (the broadcast tree) exists on the healthy
+        # path only, exactly as the historical engine behaved.
+        self._informer = None if fault_path else np.full(self._n, -1, dtype=np.int64)
+
+    def transmit_mask(self, t, rng):
+        return self.protocol.transmit_mask(t, self.informed, self.informed_round, rng)
+
+    def channel_step(self, t, network, rng):
+        content = self.informed
+        mask = np.asarray(self.transmit_mask(t, rng), dtype=bool) & content
+        result = network.step(mask, content)
+        new = result.newly_informed
+        return RoundOutcome(
+            receivers=new,
+            senders=result.informer[new],
+            num_transmitters=result.num_transmitters,
+            num_collided=result.num_collided,
+        )
+
+    def incomplete_message(self, max_rounds, target, full_target):
+        if full_target:
+            detail = f"{int(np.count_nonzero(self.informed))}/{self._n} nodes informed"
+        else:
+            detail = (
+                f"{int(np.count_nonzero(self.informed[target]))}/"
+                f"{int(np.count_nonzero(target))} surviving nodes informed"
+            )
+        return f"{self.protocol.name}: {detail} after {max_rounds} rounds"
+
+
+def _fault_round(network, plan, mask, alive, garbage, rng, need_informer):
+    """One faulty reception step.
+
+    Returns ``(received, senders, num_collided, num_transmitters)`` where
+    ``senders`` is ``None`` unless ``need_informer``.  ``mask`` is the set
+    of protocol transmitters (content-holding and alive); ``garbage`` the
+    noise transmitters (or ``None``).  A garbage transmission always wins
+    over a protocol transmission at the same node: the payload is
+    corrupted, so it occupies the channel without carrying the message.
+    """
+    if garbage is None:
+        all_tx = mask
+        carrying = mask
+    else:
+        garbage = garbage & alive
+        all_tx = mask | garbage
+        carrying = mask & ~garbage
+    informer_sum = None
+    if plan.links is not None:
+        counts = plan.links.sample_round_counts(
+            all_tx, carrying, rng, with_informer=need_informer
+        )
+        if need_informer:
+            total, message, informer_sum = counts
+        else:
+            total, message = counts
+    else:
+        total = network.adj.neighbor_counts(all_tx)
+        message = (
+            total
+            if carrying is all_tx or np.array_equal(carrying, all_tx)
+            else network.adj.neighbor_counts(carrying)
+        )
+    listening = ~all_tx & alive
+    received = listening & (total == 1) & (message == 1)
+    num_collided = int(np.count_nonzero(listening & (total >= 2)))
+    senders = None
+    if need_informer and np.any(received):
+        if informer_sum is None:
+            # Reception implies the unique arriving transmission carried
+            # the message, so summing (id + 1) over *carrying* neighbours
+            # yields sender + 1 exactly at the receivers.
+            ids = np.where(carrying, np.arange(network.n, dtype=np.int64) + 1, 0)
+            informer_sum = network.adj.matrix().dot(ids)
+        senders = informer_sum[received] - 1
+    elif need_informer:
+        senders = np.empty(0, dtype=np.int64)
+    return received, senders, num_collided, int(np.count_nonzero(all_tx))
+
+
+def run_dissemination(
+    network: RadioNetwork,
+    dynamics: Dynamics,
+    *,
+    plan=None,
+    seed: SeedLike = None,
+    max_rounds: int | None = None,
+    check_connected: bool = True,
+    raise_on_incomplete: bool = True,
+):
+    """Run one dissemination process to completion under the shared loop.
+
+    Parameters
+    ----------
+    network: the radio network (point-to-point dynamics read only its
+        ``adj``).
+    dynamics: the process — state, transmit rule, completion predicate.
+    plan: a fault plan (see module docstring) or ``None`` for a healthy
+        run.  Only :attr:`Dynamics.supports_faults` dynamics accept an
+        active plan.
+    seed: RNG seed or generator for the run's coin flips (protocol,
+        adversaries and link outages all share one stream; see
+        :mod:`repro.faults.plan` for the draw order).
+    max_rounds: round budget; defaults to
+        :meth:`Dynamics.default_round_cap`.
+    check_connected: verify reachability from the dynamics' root up front
+        and raise :class:`DisconnectedGraphError` instead of burning the
+        budget.  Large sweeps over one fixed graph should check once and
+        pass ``False`` per trial.
+    raise_on_incomplete: raise :class:`BroadcastIncompleteError` on a
+        budget miss (default); ``False`` returns the partial trace —
+        resilient sweeps use that to record structured failures.
+
+    Returns
+    -------
+    The dynamics' trace type (:class:`BroadcastTrace` or
+    :class:`~repro.gossip.trace.GossipTrace`).  Under faults, completion
+    refers to the *eventually-alive* target set.
+    """
+    n = network.n
+    fast = plan is None or plan.is_null
+    if not fast and not dynamics.supports_faults:
+        raise InvalidParameterError(
+            f"{dynamics.name} dynamics does not support fault plans"
+        )
+    if plan is not None:
+        plan.validate(n)
+    if check_connected and np.any(
+        bfs_distances(network.adj, dynamics.connectivity_root) < 0
+    ):
+        raise DisconnectedGraphError(dynamics.disconnected_message())
+    if max_rounds is None:
+        max_rounds = dynamics.default_round_cap(n)
+    rng = as_generator(seed)
+    dynamics.start(network, rng, fault_path=not fast)
+    target = plan.target(n) if plan is not None else np.ones(n, dtype=bool)
+    full_target = bool(np.all(target))
+    trace = dynamics.make_trace()
+
+    for t in range(1, max_rounds + 1):
+        if dynamics.complete(target, full_target):
+            break
+        if fast:
+            outcome = dynamics.channel_step(t, network, rng)
+        else:
+            alive = plan.alive_at(t, n)
+            lost = plan.forget_at(t)
+            if lost.size:
+                dynamics.forget(lost)
+            mask = (
+                np.asarray(dynamics.transmit_mask(t, rng), dtype=bool)
+                & dynamics.content_mask()
+                & alive
+            )
+            garbage = plan.garbage_mask(t, rng)
+            received, senders, num_collided, num_tx = _fault_round(
+                network, plan, mask, alive, garbage, rng, dynamics.needs_informer
+            )
+            outcome = RoundOutcome(
+                receivers=np.flatnonzero(received).astype(np.int64),
+                senders=senders,
+                num_transmitters=num_tx,
+                num_collided=num_collided,
+            )
+        dynamics.update(t, outcome)
+        trace.records.append(dynamics.record(t, outcome))
+    finished = dynamics.complete(target, full_target)
+    dynamics.finish(trace, target, full_target, finished)
+    if not finished and raise_on_incomplete:
+        raise BroadcastIncompleteError(
+            dynamics.incomplete_message(max_rounds, target, full_target), trace=trace
+        )
+    return trace

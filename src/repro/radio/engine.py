@@ -1,54 +1,35 @@
-"""The unified broadcast round engine.
+"""The broadcast entry points over the unified dissemination core.
 
-One loop runs every distributed-protocol broadcast in the package —
-healthy or faulty.  :func:`run_broadcast` accepts an optional *fault
-plan* (duck-typed; see :class:`repro.faults.FaultPlan`) and executes
-round after round until the completion target set is informed or the
-round budget is exhausted:
+Historically this module owned the single round loop that ran every
+distributed-protocol broadcast; that loop now lives in
+:mod:`repro.radio.dynamics` as :func:`run_dissemination`, shared with
+gossip, multi-message and single-port dynamics.  What remains here is
+the broadcast-shaped surface:
 
-* with no plan (or a null plan) it takes the **fast path**: the
-  vectorized :meth:`RadioNetwork.step` kernel, including informer /
-  broadcast-tree extraction — byte-identical to the historical
-  ``simulate_broadcast``;
-* with an active plan it takes the **fault path**: dead radios are
-  silenced, churned nodes forget on rejoin, jamming and Byzantine noise
-  occupy the channel, and deliveries traverse per-round link outages.
+* :func:`run_broadcast` — one trial, healthy or under a fault plan
+  (:class:`~repro.radio.dynamics.BroadcastDynamics` over the core);
+* :func:`run_broadcast_batch` — ``R`` healthy trials in vectorized
+  lockstep for Monte-Carlo sweeps.
 
 ``simulate_broadcast`` and ``simulate_broadcast_faulty`` are both thin
-wrappers over this function; the healthy simulator is the zero-fault
-special case rather than a parallel code path.
-
-The fault-plan interface (all duck-typed so this module never imports
-:mod:`repro.faults`):
-
-* ``plan.is_null`` — True when the plan can never perturb a round;
-* ``plan.validate(n)`` — raise ``InvalidParameterError`` on size mismatch;
-* ``plan.target(n)`` — bool mask of nodes required for completion;
-* ``plan.alive_at(t, n)`` — bool mask of radios that are on;
-* ``plan.forget_at(t)`` — ids rejoining uninformed this round;
-* ``plan.garbage_mask(t, rng)`` — bool mask of noise transmitters, or
-  ``None`` (drawing nothing) when inactive;
-* ``plan.links`` — a ``LossyLinkModel`` or ``None``.
+wrappers over :func:`run_broadcast`; the healthy simulator is the
+zero-fault special case rather than a parallel code path.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
-from .._typing import BoolArray, FloatArray, IntArray, SeedLike
-from ..errors import (
-    BroadcastIncompleteError,
-    DisconnectedGraphError,
-    InvalidParameterError,
-)
+from .._typing import BoolArray, FloatArray, SeedLike
+from ..errors import DisconnectedGraphError, InvalidParameterError
 from ..graphs.bfs import bfs_distances
-from ..rng import as_generator, spawn_generators
+from ..rng import spawn_generators
+from .dynamics import BroadcastDynamics, default_round_cap, run_dissemination
 from .model import RadioNetwork
 from .protocol import RadioProtocol
-from .trace import BroadcastTrace, RoundRecord
+from .trace import BroadcastTrace
 
 __all__ = [
     "default_round_cap",
@@ -56,47 +37,6 @@ __all__ = [
     "run_broadcast_batch",
     "BatchBroadcastResult",
 ]
-
-
-def default_round_cap(n: int) -> int:
-    """Generous default round budget for ``O(ln n)``-class protocols.
-
-    ``200 + 60 * log2(n)`` — an order of magnitude above the constants any
-    of the implemented protocols exhibit, so hitting it signals a stall
-    rather than bad luck.
-    """
-    return 200 + 60 * max(1, math.ceil(math.log2(max(n, 2))))
-
-
-def _fault_round(network, plan, mask, alive, garbage, rng):
-    """One faulty reception step; returns (received, num_collided, all_tx).
-
-    ``mask`` is the set of protocol transmitters (informed and alive);
-    ``garbage`` the noise transmitters (or ``None``).  A garbage
-    transmission always wins over a protocol transmission at the same
-    node: the payload is corrupted, so it occupies the channel without
-    carrying the message.
-    """
-    if garbage is None:
-        all_tx = mask
-        carrying = mask
-    else:
-        garbage = garbage & alive
-        all_tx = mask | garbage
-        carrying = mask & ~garbage
-    if plan.links is not None:
-        total, message = plan.links.sample_round_counts(all_tx, carrying, rng)
-    else:
-        total = network.adj.neighbor_counts(all_tx)
-        message = (
-            total
-            if carrying is all_tx or np.array_equal(carrying, all_tx)
-            else network.adj.neighbor_counts(carrying)
-        )
-    listening = ~all_tx & alive
-    received = listening & (total == 1) & (message == 1)
-    num_collided = int(np.count_nonzero(listening & (total >= 2)))
-    return received, num_collided, all_tx
 
 
 def run_broadcast(
@@ -120,8 +60,8 @@ def run_broadcast(
         (the engine intersects the protocol's mask with the informed set,
         and with the alive set under faults).
     source: the node initially holding the message.
-    plan: a fault plan (see module docstring) or ``None`` for a healthy
-        run.
+    plan: a fault plan (see :mod:`repro.radio.dynamics`) or ``None`` for
+        a healthy run.
     p: the edge-probability parameter nodes are assumed to know; ``None``
         if unknown.
     seed: RNG seed or generator for the run's coin flips (protocol,
@@ -145,86 +85,15 @@ def run_broadcast(
     n = network.n
     if not 0 <= source < n:
         raise InvalidParameterError(f"source {source} out of range [0, {n})")
-    if plan is not None:
-        plan.validate(n)
-    if check_connected and np.any(bfs_distances(network.adj, source) < 0):
-        raise DisconnectedGraphError(
-            f"not all nodes reachable from source {source}; broadcast cannot complete"
-        )
-    if max_rounds is None:
-        max_rounds = default_round_cap(n)
-    fast = plan is None or plan.is_null
-    rng = as_generator(seed)
-    protocol.prepare(n, p, source)
-    informed = np.zeros(n, dtype=bool)
-    informed[source] = True
-    informed_round = np.full(n, -1, dtype=np.int64)
-    informed_round[source] = 0
-    informer = np.full(n, -1, dtype=np.int64) if fast else None
-    target = plan.target(n) if plan is not None else np.ones(n, dtype=bool)
-    full_target = bool(np.all(target))
-    trace = BroadcastTrace(source=source, n=n)
-
-    def done() -> bool:
-        return bool(np.all(informed[target]))
-
-    for t in range(1, max_rounds + 1):
-        if done():
-            break
-        if fast:
-            mask = protocol.transmit_mask(t, informed, informed_round, rng)
-            mask = np.asarray(mask, dtype=bool) & informed
-            result = network.step(mask, informed)
-            new = result.newly_informed
-            informer[new] = result.informer[new]
-            num_tx = result.num_transmitters
-            num_collided = result.num_collided
-        else:
-            alive = plan.alive_at(t, n)
-            lost = plan.forget_at(t)
-            if lost.size:
-                informed[lost] = False
-                informed_round[lost] = -1
-            mask = protocol.transmit_mask(t, informed, informed_round, rng)
-            mask = np.asarray(mask, dtype=bool) & informed & alive
-            garbage = plan.garbage_mask(t, rng)
-            received, num_collided, all_tx = _fault_round(
-                network, plan, mask, alive, garbage, rng
-            )
-            new = np.flatnonzero(received & ~informed).astype(np.int64)
-            num_tx = int(np.count_nonzero(all_tx))
-        informed[new] = True
-        informed_round[new] = t
-        trace.records.append(
-            RoundRecord(
-                round_index=t,
-                num_transmitters=num_tx,
-                num_new=int(new.size),
-                num_collided=num_collided,
-                informed_after=int(np.count_nonzero(informed)),
-            )
-        )
-    finished = done()
-    # Report completion relative to the target set: when all eventually-
-    # alive nodes are informed, permanently dead nodes (outside the
-    # deliverable set) are filled in as informed so ``trace.completed``
-    # reads true.
-    trace.informed = informed | ~target if finished and not full_target else informed
-    trace.informed_round = informed_round
-    trace.informer = informer
-    if not finished and raise_on_incomplete:
-        if full_target:
-            detail = f"{int(np.count_nonzero(informed))}/{n} nodes informed"
-        else:
-            detail = (
-                f"{int(np.count_nonzero(informed[target]))}/"
-                f"{int(np.count_nonzero(target))} surviving nodes informed"
-            )
-        raise BroadcastIncompleteError(
-            f"{protocol.name}: {detail} after {max_rounds} rounds",
-            trace=trace,
-        )
-    return trace
+    return run_dissemination(
+        network,
+        BroadcastDynamics(protocol, source, p),
+        plan=plan,
+        seed=seed,
+        max_rounds=max_rounds,
+        check_connected=check_connected,
+        raise_on_incomplete=raise_on_incomplete,
+    )
 
 
 @dataclass(frozen=True)

@@ -70,17 +70,18 @@ class BatchStepResult:
 
     All masks have shape ``(n, R)`` — column ``r`` is trial ``r``'s round,
     with exactly the same semantics as the corresponding
-    :class:`StepResult` fields.  Informer extraction is deliberately
-    omitted: the batched path exists for high-repetition timing sweeps,
-    which never read the broadcast tree (use :meth:`RadioNetwork.step`
-    when you need it).  ``collided`` is ``None`` when the step was asked
-    to skip collision accounting (the batch engine does; it only needs
-    receptions).
+    :class:`StepResult` fields.  ``collided`` is ``None`` when the step
+    was asked to skip collision accounting (the broadcast batch engine
+    does; it only needs receptions), and ``informer`` is ``None`` unless
+    the step was asked for it (the gossip batch engine needs the sender
+    of every reception to merge knowledge rows; pure timing sweeps skip
+    the extra spmm).
     """
 
     received: BoolArray
     collided: BoolArray | None
     num_transmitters: IntArray | None
+    informer: IntArray | None = None
 
     @property
     def repetitions(self) -> int:
@@ -184,6 +185,7 @@ class RadioNetwork:
         with_collided: bool = True,
         with_transmitters: bool = True,
         assume_informed: bool = False,
+        with_informer: bool = False,
     ) -> BatchStepResult:
         """Execute one synchronous round of ``R`` independent trials.
 
@@ -200,6 +202,10 @@ class RadioNetwork:
         and ``assume_informed=True`` asserts the caller already
         intersected ``transmitting`` with ``informed`` (every transmission
         carries the message), skipping the uninformed-transmitter pass.
+        ``with_informer=True`` adds the batched analogue of
+        :attr:`StepResult.informer` — one extra batched spmm over carrying
+        transmitter ids; the gossip engine reads it to merge knowledge
+        rows.
 
         Returns
         -------
@@ -211,6 +217,7 @@ class RadioNetwork:
         informed = self._check_mask_batch(informed, "informed")
         total = self.adj.neighbor_counts_batch(transmitting)
         if assume_informed:
+            carrying = transmitting
             message = total
         else:
             carrying = transmitting & informed
@@ -223,12 +230,25 @@ class RadioNetwork:
         if message is not total:
             received &= message == 1
         collided = listening & (total >= 2) if with_collided else None
+        informer = None
+        if with_informer:
+            # Batched informer extraction: sum (id + 1) over carrying
+            # transmitting neighbours, column-wise; where the reception
+            # rule held, that sum is the unique sender's id + 1.
+            ids = np.where(
+                carrying,
+                (np.arange(self.n, dtype=np.int64) + 1)[:, None],
+                np.int64(0),
+            )
+            sums = self.adj.matrix().dot(ids)
+            informer = np.where(received, sums - 1, np.int64(-1))
         return BatchStepResult(
             received=received,
             collided=collided,
             num_transmitters=(
                 transmitting.sum(axis=0, dtype=np.int64) if with_transmitters else None
             ),
+            informer=informer,
         )
 
     def step_reference(self, transmitting: BoolArray, informed: BoolArray) -> StepResult:

@@ -13,24 +13,88 @@ channel, no collisions — the communication resource is agent mobility.
 Experiment E23 measures the two regimes the bound names: on `G(n, p)`
 (small D) time is ``Θ(log n)``-flavoured once there are enough agents,
 while too few agents leave a cover-time-dominated tail.
+
+The round loop is the shared :func:`repro.radio.dynamics.run_dissemination`
+driver; :class:`AgentDynamics` replaces the radio channel with the
+random-walk hop-and-exchange step.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .._typing import IntArray, SeedLike
-from ..errors import (
-    BroadcastIncompleteError,
-    DisconnectedGraphError,
-    InvalidParameterError,
-)
+from .._typing import SeedLike
+from ..errors import DisconnectedGraphError, InvalidParameterError
 from ..graphs.adjacency import Adjacency
-from ..graphs.bfs import bfs_distances
-from ..radio.trace import BroadcastTrace, RoundRecord
-from ..rng import as_generator
+from ..radio.dynamics import RoundOutcome, SingleMessageDynamics, run_dissemination
+from ..radio.model import RadioNetwork
+from ..radio.trace import BroadcastTrace
 
-__all__ = ["agent_broadcast"]
+__all__ = ["agent_broadcast", "AgentDynamics"]
+
+
+class AgentDynamics(SingleMessageDynamics):
+    """Random-walking agents carrying the rumor between nodes.
+
+    ``num_transmitters`` in the trace records the number of rumor-carrying
+    agents per round (counted after this round's pick-ups).
+    """
+
+    name = "agents"
+    summary = "k random-walking agents ferry the rumor (agent-based model, E23)"
+
+    def __init__(self, num_agents: int, source: int,
+                 agents_start_at_source: bool = False):
+        super().__init__(source)
+        self.num_agents = num_agents
+        self.agents_start_at_source = agents_start_at_source
+        self.positions = None
+        self.carrying = None
+
+    def default_round_cap(self, n):
+        # Cover-time flavoured budget: generous multiple of n log n / k.
+        logn = max(1.0, np.log(max(n, 2)))
+        return int(200 + 40 * n * logn / self.num_agents)
+
+    def start(self, network, rng, fault_path):
+        super().start(network, rng, fault_path)
+        n = network.n
+        if n >= 2 and network.adj.min_degree == 0:
+            raise DisconnectedGraphError(
+                "graph has isolated nodes; walks cannot reach them"
+            )
+        if self.agents_start_at_source:
+            self.positions = np.full(self.num_agents, self.source, dtype=np.int64)
+        else:
+            self.positions = rng.integers(0, n, size=self.num_agents).astype(np.int64)
+        self.carrying = self.informed[self.positions].copy()
+
+    def channel_step(self, t, network, rng):
+        indptr, indices = network.adj.indptr, network.adj.indices
+        positions, informed = self.positions, self.informed
+        # One uniform-random-neighbour hop per agent (vectorized).
+        degs = indptr[positions + 1] - indptr[positions]
+        offsets = (rng.random(self.num_agents) * degs).astype(np.int64)
+        positions = indices[indptr[positions] + offsets]
+        self.positions = positions
+        # Exchange at the new position: pick up, then drop off.
+        self.carrying |= informed[positions]
+        newly = np.unique(positions[self.carrying & ~informed[positions]])
+        return RoundOutcome(
+            receivers=newly,
+            senders=None,
+            num_transmitters=int(np.count_nonzero(self.carrying)),
+            num_collided=0,
+        )
+
+    def incomplete_message(self, max_rounds, target, full_target):
+        return (
+            f"agent-based: {int(np.count_nonzero(self.informed))}/{self._n} "
+            f"informed after {max_rounds} rounds with {self.num_agents} agents"
+        )
+
+    def disconnected_message(self):
+        return f"not all nodes reachable from source {self.source}"
 
 
 def agent_broadcast(
@@ -66,56 +130,10 @@ def agent_broadcast(
     if num_agents < 1:
         raise InvalidParameterError(f"need at least one agent, got {num_agents}")
     if not 0 <= source < n:
-        raise DisconnectedGraphError(f"source {source} out of range [0, {n})")
-    if np.any(bfs_distances(adj, source) < 0):
-        raise DisconnectedGraphError(
-            f"not all nodes reachable from source {source}"
-        )
-    if n >= 2 and adj.min_degree == 0:
-        raise DisconnectedGraphError("graph has isolated nodes; walks cannot reach them")
-    rng = as_generator(seed)
-    if max_rounds is None:
-        # Cover-time flavoured budget: generous multiple of n log n / k.
-        logn = max(1.0, np.log(max(n, 2)))
-        max_rounds = int(200 + 40 * n * logn / num_agents)
-    informed = np.zeros(n, dtype=bool)
-    informed[source] = True
-    informed_round = np.full(n, -1, dtype=np.int64)
-    informed_round[source] = 0
-    if agents_start_at_source:
-        positions = np.full(num_agents, source, dtype=np.int64)
-    else:
-        positions = rng.integers(0, n, size=num_agents).astype(np.int64)
-    carrying = informed[positions].copy()
-    trace = BroadcastTrace(source=source, n=n)
-    indptr, indices = adj.indptr, adj.indices
-    for t in range(1, max_rounds + 1):
-        if bool(np.all(informed)):
-            break
-        # One uniform-random-neighbour hop per agent (vectorized).
-        degs = indptr[positions + 1] - indptr[positions]
-        offsets = (rng.random(num_agents) * degs).astype(np.int64)
-        positions = indices[indptr[positions] + offsets]
-        # Exchange at the new position: pick up, then drop off.
-        carrying |= informed[positions]
-        newly = np.unique(positions[carrying & ~informed[positions]])
-        informed[newly] = True
-        informed_round[newly] = t
-        trace.records.append(
-            RoundRecord(
-                round_index=t,
-                num_transmitters=int(np.count_nonzero(carrying)),
-                num_new=int(newly.size),
-                num_collided=0,
-                informed_after=int(np.count_nonzero(informed)),
-            )
-        )
-    trace.informed = informed
-    trace.informed_round = informed_round
-    if not trace.completed:
-        raise BroadcastIncompleteError(
-            f"agent-based: {trace.num_informed}/{n} informed after "
-            f"{max_rounds} rounds with {num_agents} agents",
-            trace=trace,
-        )
-    return trace
+        raise InvalidParameterError(f"source {source} out of range [0, {n})")
+    return run_dissemination(
+        RadioNetwork(adj),
+        AgentDynamics(num_agents, source, agents_start_at_source),
+        seed=seed,
+        max_rounds=max_rounds,
+    )

@@ -9,20 +9,42 @@ the rumor over a point-to-point link.  Deliveries never collide.  On
 The traces reuse :class:`~repro.radio.trace.BroadcastTrace`; the
 ``num_collided`` field is always 0 here (the model has no collisions), and
 ``num_transmitters`` counts the senders of the round.
+
+The round loop is the shared :func:`repro.radio.dynamics.run_dissemination`
+driver; :class:`PushDynamics` / :class:`PushPullDynamics` replace the
+radio collision channel with the point-to-point call step, so fault plans
+(which model radio-channel phenomena) do not apply here.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from .._typing import SeedLike
-from ..errors import BroadcastIncompleteError, DisconnectedGraphError
+from ..errors import InvalidParameterError
 from ..graphs.adjacency import Adjacency
-from ..graphs.bfs import bfs_distances
-from ..radio.trace import BroadcastTrace, RoundRecord
-from ..rng import as_generator
+from ..radio.dynamics import RoundOutcome, SingleMessageDynamics, run_dissemination
+from ..radio.model import RadioNetwork
+from ..radio.trace import BroadcastTrace
 
-__all__ = ["push_broadcast", "push_pull_broadcast"]
+__all__ = [
+    "push_broadcast",
+    "push_pull_broadcast",
+    "default_singleport_round_cap",
+    "PushDynamics",
+    "PushPullDynamics",
+]
+
+
+def default_singleport_round_cap(n: int) -> int:
+    """Default round budget for single-port spreading.
+
+    ``100 + 20 * log2(n)`` — far above the ``log₂ n + ln n + o(log n)``
+    completion bound, so hitting it signals a stall rather than bad luck.
+    """
+    return 100 + 20 * math.ceil(math.log2(max(n, 2)))
 
 
 def _random_neighbor_choice(
@@ -43,58 +65,64 @@ def _random_neighbor_choice(
     return adj.indices[adj.indptr[nodes] + offsets], nodes
 
 
-def _run(
-    adj: Adjacency,
-    source: int,
-    rng: np.random.Generator,
-    max_rounds: int,
-    pull: bool,
-    name: str,
-) -> BroadcastTrace:
-    n = adj.n
-    if not 0 <= source < n:
-        raise DisconnectedGraphError(f"source {source} out of range [0, {n})")
-    if np.any(bfs_distances(adj, source) < 0):
-        raise DisconnectedGraphError(
-            f"not all nodes reachable from source {source}; rumor cannot spread everywhere"
-        )
-    informed = np.zeros(n, dtype=bool)
-    informed[source] = True
-    informed_round = np.full(n, -1, dtype=np.int64)
-    informed_round[source] = 0
-    trace = BroadcastTrace(source=source, n=n)
-    for t in range(1, max_rounds + 1):
-        if bool(np.all(informed)):
-            break
+class PushDynamics(SingleMessageDynamics):
+    """Push spreading: every knower calls one uniformly random neighbour."""
+
+    name = "push"
+    summary = "single-port push, point-to-point calls (Feige et al., Section 1.2)"
+    pull = False
+
+    def default_round_cap(self, n):
+        return default_singleport_round_cap(n)
+
+    def channel_step(self, t, network, rng):
+        adj = network.adj
+        informed = self.informed
         senders = np.flatnonzero(informed).astype(np.int64)
         targets, _ = _random_neighbor_choice(adj, senders, rng)
         new = np.unique(targets[~informed[targets]]) if targets.size else targets
-        if pull:
+        if self.pull:
             listeners = np.flatnonzero(~informed).astype(np.int64)
             called, callers = _random_neighbor_choice(adj, listeners, rng)
             pulled = callers[informed[called]] if called.size else called
             new = np.union1d(new, pulled)
-        informed[new] = True
-        informed_round[new] = t
-        trace.records.append(
-            RoundRecord(
-                round_index=t,
-                num_transmitters=int(senders.size),
-                num_new=int(new.size),
-                num_collided=0,
-                informed_after=int(np.count_nonzero(informed)),
-            )
+        return RoundOutcome(
+            receivers=new,
+            senders=None,
+            num_transmitters=int(senders.size),
+            num_collided=0,
         )
-        if bool(np.all(informed)):
-            break
-    trace.informed = informed
-    trace.informed_round = informed_round
-    if not trace.completed:
-        raise BroadcastIncompleteError(
-            f"{name}: {trace.num_informed}/{n} informed after {max_rounds} rounds",
-            trace=trace,
+
+    def disconnected_message(self):
+        return (
+            f"not all nodes reachable from source {self.source}; "
+            "rumor cannot spread everywhere"
         )
-    return trace
+
+
+class PushPullDynamics(PushDynamics):
+    """Push–pull: knowers push and non-knowers simultaneously pull."""
+
+    name = "push-pull"
+    summary = "single-port push-pull, point-to-point calls"
+    pull = True
+
+
+def _run(
+    adj: Adjacency,
+    dynamics: PushDynamics,
+    seed: SeedLike,
+    max_rounds: int | None,
+) -> BroadcastTrace:
+    n = adj.n
+    if not 0 <= dynamics.source < n:
+        raise InvalidParameterError(f"source {dynamics.source} out of range [0, {n})")
+    return run_dissemination(
+        RadioNetwork(adj),
+        dynamics,
+        seed=seed,
+        max_rounds=max_rounds,
+    )
 
 
 def push_broadcast(
@@ -105,10 +133,7 @@ def push_broadcast(
     max_rounds: int | None = None,
 ) -> BroadcastTrace:
     """Push rumor spreading: every knower calls one random neighbour."""
-    rng = as_generator(seed)
-    if max_rounds is None:
-        max_rounds = 100 + 20 * int(np.ceil(np.log2(max(adj.n, 2))))
-    return _run(adj, source, rng, max_rounds, pull=False, name="push")
+    return _run(adj, PushDynamics(source), seed, max_rounds)
 
 
 def push_pull_broadcast(
@@ -123,7 +148,4 @@ def push_pull_broadcast(
     Pull side: each uninformed node calls one random neighbour and learns
     the rumor if that neighbour knows it.
     """
-    rng = as_generator(seed)
-    if max_rounds is None:
-        max_rounds = 100 + 20 * int(np.ceil(np.log2(max(adj.n, 2))))
-    return _run(adj, source, rng, max_rounds, pull=True, name="push-pull")
+    return _run(adj, PushPullDynamics(source), seed, max_rounds)

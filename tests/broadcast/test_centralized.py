@@ -1,6 +1,5 @@
 """Unit tests for the centralized schedulers (Theorem 5 + baselines)."""
 
-import math
 
 import numpy as np
 import pytest

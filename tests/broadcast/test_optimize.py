@@ -1,6 +1,5 @@
 """Unit tests for schedule local-search optimization."""
 
-import numpy as np
 import pytest
 
 from repro.broadcast.centralized import (

@@ -13,7 +13,6 @@ from repro.experiments.resilient import (
     STATUS_INCOMPLETE,
     STATUS_OK,
     SweepCheckpoint,
-    SweepResult,
     TrialOutcome,
     TrialRecord,
     run_resilient_sweep,
@@ -21,7 +20,6 @@ from repro.experiments.resilient import (
 from repro.faults import ChurnSchedule, FaultPlan, simulate_broadcast_faulty
 from repro.graphs import gnp_connected
 from repro.radio import RadioNetwork
-from repro.rng import derive_generator
 
 
 def ok_trial(index, rng):

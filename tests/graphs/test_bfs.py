@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphError
-from repro.graphs import Adjacency, gnp, hypercube, path_graph
+from repro.graphs import Adjacency, gnp, hypercube
 from repro.graphs.bfs import bfs_distances, bfs_layers_list, bfs_tree, gather_neighbors
 
 

@@ -5,13 +5,10 @@ import pytest
 
 from repro.errors import GraphError
 from repro.graphs import (
-    Adjacency,
     LayerDecomposition,
     balanced_tree,
     gnp_connected,
     layer_decomposition,
-    path_graph,
-    star_graph,
 )
 
 

@@ -1,6 +1,5 @@
 """Unit tests for connectivity / diameter / degree properties."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

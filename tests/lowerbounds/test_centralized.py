@@ -1,12 +1,11 @@
 """Unit tests for the Theorem 6 survival machinery."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.errors import InvalidParameterError
-from repro.graphs import complete_graph, gnp, gnp_connected, star_graph
+from repro.graphs import gnp, gnp_connected
 from repro.lowerbounds.centralized import (
     relaxed_schedule_survivors,
     rounds_to_inform_all_relaxed,

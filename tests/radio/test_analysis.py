@@ -5,7 +5,7 @@ import pytest
 
 from repro.broadcast.distributed import UniformProtocol
 from repro.errors import SimulationError
-from repro.graphs import balanced_tree, gnp_connected, star_graph
+from repro.graphs import gnp_connected
 from repro.radio import (
     RadioNetwork,
     broadcast_tree,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphError, SimulationError
-from repro.graphs import Adjacency, star_graph
+from repro.graphs import Adjacency
 from repro.radio import RadioNetwork
 
 

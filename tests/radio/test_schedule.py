@@ -1,10 +1,8 @@
 """Unit tests for schedules, executor and verifier."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ScheduleError
-from repro.graphs import path_graph, star_graph
 from repro.radio import RadioNetwork, Schedule, execute_schedule, verify_schedule
 
 

@@ -8,7 +8,7 @@ from repro.errors import (
     DisconnectedGraphError,
     InvalidParameterError,
 )
-from repro.graphs import Adjacency, gnp_connected, star_graph
+from repro.graphs import Adjacency
 from repro.radio import (
     FunctionProtocol,
     RadioNetwork,

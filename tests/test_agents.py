@@ -73,7 +73,7 @@ class TestAgentBroadcast:
         g = complete_graph(5)
         with pytest.raises(InvalidParameterError):
             agent_broadcast(g, 0, 0)
-        with pytest.raises(DisconnectedGraphError):
+        with pytest.raises(InvalidParameterError):
             agent_broadcast(g, 1, 9)
 
     def test_disconnected_rejected(self):

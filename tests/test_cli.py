@@ -42,6 +42,13 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "E1" in out and "E12" in out
 
+    def test_dynamics(self, capsys):
+        assert main(["dynamics"]) == 0
+        out = capsys.readouterr().out
+        for name in ("broadcast", "gossip", "multimessage", "push", "push-pull", "agents"):
+            assert name in out
+        assert "fault-aware" in out
+
     def test_describe(self, capsys):
         assert main(["describe", "E4"]) == 0
         out = capsys.readouterr().out

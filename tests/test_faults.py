@@ -12,7 +12,7 @@ from repro.errors import (
     InvalidParameterError,
 )
 from repro.faults import CrashSchedule, LossyLinkModel, simulate_broadcast_faulty
-from repro.graphs import complete_graph, gnp_connected, star_graph
+from repro.graphs import gnp_connected
 from repro.radio import RadioNetwork
 
 

@@ -9,7 +9,7 @@ from repro.broadcast.distributed import DecayProtocol, UniformProtocol
 from repro.errors import BroadcastIncompleteError, DisconnectedGraphError
 from repro.gossip import GossipTrace, gossip_time, simulate_gossip
 from repro.gossip.simulator import default_gossip_round_cap
-from repro.graphs import Adjacency, complete_graph, gnp_connected, path_graph, star_graph
+from repro.graphs import Adjacency, gnp_connected, path_graph
 from repro.radio import RadioNetwork
 
 

@@ -1,6 +1,5 @@
 """Unit tests for k-token multi-message dissemination."""
 
-import math
 
 import numpy as np
 import pytest
@@ -12,12 +11,11 @@ from repro.errors import (
     InvalidParameterError,
 )
 from repro.gossip import (
-    gossip_time,
     multimessage_time,
     simulate_gossip,
     simulate_multimessage,
 )
-from repro.graphs import Adjacency, gnp_connected, path_graph, star_graph
+from repro.graphs import Adjacency, gnp_connected
 from repro.radio import RadioNetwork
 
 

@@ -5,8 +5,12 @@ import math
 import numpy as np
 import pytest
 
-from repro.errors import BroadcastIncompleteError, DisconnectedGraphError
-from repro.graphs import Adjacency, complete_graph, gnp_connected, path_graph, star_graph
+from repro.errors import (
+    BroadcastIncompleteError,
+    DisconnectedGraphError,
+    InvalidParameterError,
+)
+from repro.graphs import Adjacency, complete_graph, path_graph
 from repro.singleport import push_broadcast, push_pull_broadcast
 
 
@@ -40,8 +44,11 @@ class TestPush:
             push_broadcast(g, 0)
 
     def test_source_out_of_range(self, path5):
-        with pytest.raises(DisconnectedGraphError):
+        # A bad source id is a parameter error, not a graph property.
+        with pytest.raises(InvalidParameterError):
             push_broadcast(path5, 9)
+        with pytest.raises(InvalidParameterError):
+            push_pull_broadcast(path5, -1)
 
     def test_budget_exhaustion(self, path5):
         # A path of 5 with tiny budget: push advances ~1 hop/round.
