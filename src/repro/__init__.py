@@ -50,6 +50,14 @@ from .graphs import (
     star_graph,
     torus_2d,
 )
+from .obs import (
+    JsonlTraceSink,
+    MemoryTraceSink,
+    MetricsRegistry,
+    Observer,
+    current_observer,
+    use_observer,
+)
 from .radio import (
     BroadcastTrace,
     RadioNetwork,
@@ -61,6 +69,7 @@ from .radio import (
     simulate_broadcast,
     verify_schedule,
 )
+from .api import SimulationResult, available_dynamics, simulate
 
 __version__ = "1.0.0"
 
@@ -102,6 +111,17 @@ __all__ = [
     "repeat_broadcast",
     "execute_schedule",
     "verify_schedule",
+    # unified simulation API
+    "simulate",
+    "SimulationResult",
+    "available_dynamics",
+    # observability
+    "Observer",
+    "MetricsRegistry",
+    "MemoryTraceSink",
+    "JsonlTraceSink",
+    "use_observer",
+    "current_observer",
 ]
 
 

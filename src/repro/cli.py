@@ -1,13 +1,20 @@
-"""Command-line interface: list, describe and run the experiment catalog.
+"""Command-line interface: list, describe, run and profile the catalog.
 
 Usage::
 
     python -m repro list
-    python -m repro dynamics
+    python -m repro dynamics [--only broadcast,gossip]
     python -m repro describe E4
     python -m repro run E4 --full --seed 7
     python -m repro run E14 --checkpoint ckpt/ --resume
+    python -m repro run E4 --trace-out e4.jsonl
     python -m repro run-all --quick --out results.md
+    python -m repro profile E7 --seed 3
+
+Flags shared across subcommands (``--seed``, ``--jobs``, ``--checkpoint``,
+``--resume``, ``--trace-out``, ``--full``, ``--markdown``, ``--only``) are
+declared once on parent parsers, so their defaults and help text cannot
+drift between ``run``, ``run-all`` and ``profile``.
 """
 
 from __future__ import annotations
@@ -15,55 +22,43 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import nullcontext
 
 from .experiments import EXPERIMENTS, get_experiment, run_experiment
+from .obs import JsonlTraceSink, MetricsRegistry, Observer, use_observer
 
 __all__ = ["main", "build_parser"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for tests)."""
-    parser = argparse.ArgumentParser(
-        prog="radio-repro",
-        description=(
-            "Reproduce the bounds of Elsässer & Gąsieniec, 'Radio "
-            "communication in random graphs' (SPAA 2005 / JCSS 2006)."
-        ),
+def _seed_parent() -> argparse.ArgumentParser:
+    """Shared ``--seed`` declaration (run / run-all / profile)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    return parent
+
+
+def _mode_parent() -> argparse.ArgumentParser:
+    """Shared ``--full`` declaration (run / run-all / profile)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--full", action="store_true", help="full-size sweep (slow)"
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    return parent
 
-    sub.add_parser("list", help="list catalogued experiments")
 
-    sub.add_parser("dynamics", help="list registered dissemination dynamics")
-
-    p_desc = sub.add_parser("describe", help="show one experiment's claim and bench target")
-    p_desc.add_argument("experiment", help="experiment id, e.g. E4")
-
-    p_run = sub.add_parser("run", help="run one experiment and print its table")
-    p_run.add_argument("experiment", help="experiment id, e.g. E4")
-    p_run.add_argument("--full", action="store_true", help="full-size sweep (slow)")
-    p_run.add_argument("--seed", type=int, default=0, help="root RNG seed")
-    p_run.add_argument("--markdown", action="store_true", help="emit markdown instead of ASCII")
-    p_run.add_argument("--out", default=None, help="also save the result as JSON to this path")
-    _add_sweep_flags(p_run)
-
-    p_all = sub.add_parser("run-all", help="run every experiment in catalog order")
-    p_all.add_argument("--full", action="store_true", help="full-size sweeps (slow)")
-    p_all.add_argument("--seed", type=int, default=0, help="root RNG seed")
-    p_all.add_argument("--markdown", action="store_true", help="emit markdown instead of ASCII")
-    p_all.add_argument("--out", default=None, help="also write the report to this file")
-    p_all.add_argument(
-        "--only",
-        default=None,
-        metavar="IDS",
-        help="comma-separated experiment ids to run (e.g. E4,E5); default: all",
+def _render_parent() -> argparse.ArgumentParser:
+    """Shared ``--markdown`` declaration (run / run-all)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--markdown", action="store_true", help="emit markdown instead of ASCII"
     )
-    _add_sweep_flags(p_all)
-    return parser
+    return parent
 
 
-def _add_sweep_flags(sub_parser: argparse.ArgumentParser) -> None:
-    sub_parser.add_argument(
+def _sweep_parent() -> argparse.ArgumentParser:
+    """Shared sweep flags: ``--checkpoint``, ``--resume``, ``--jobs``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--checkpoint",
         default=None,
         metavar="DIR",
@@ -72,12 +67,12 @@ def _add_sweep_flags(sub_parser: argparse.ArgumentParser) -> None:
             "sweep-style experiments (currently E14), ignored by the rest"
         ),
     )
-    sub_parser.add_argument(
+    parent.add_argument(
         "--resume",
         action="store_true",
         help="skip trials already recorded in --checkpoint files",
     )
-    sub_parser.add_argument(
+    parent.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -91,10 +86,136 @@ def _add_sweep_flags(sub_parser: argparse.ArgumentParser) -> None:
             "reuses --seed verbatim for every experiment"
         ),
     )
+    return parent
+
+
+def _trace_parent() -> argparse.ArgumentParser:
+    """Shared ``--trace-out`` declaration (run / run-all / profile)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "stream schema-versioned per-round JSONL events to PATH "
+            "(see docs/OBSERVABILITY.md for the event schema)"
+        ),
+    )
+    return parent
+
+
+def _only_parent() -> argparse.ArgumentParser:
+    """Shared ``--only`` declaration (run-all / dynamics)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--only",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated subset to include (default: all)",
+    )
+    return parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="radio-repro",
+        description=(
+            "Reproduce the bounds of Elsässer & Gąsieniec, 'Radio "
+            "communication in random graphs' (SPAA 2005 / JCSS 2006)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    seed, mode, render = _seed_parent(), _mode_parent(), _render_parent()
+    sweep, trace, only = _sweep_parent(), _trace_parent(), _only_parent()
+
+    sub.add_parser("list", help="list catalogued experiments")
+
+    sub.add_parser(
+        "dynamics",
+        parents=[only],
+        help="list registered dissemination dynamics",
+    )
+
+    p_desc = sub.add_parser("describe", help="show one experiment's claim and bench target")
+    p_desc.add_argument("experiment", help="experiment id, e.g. E4")
+
+    p_run = sub.add_parser(
+        "run",
+        parents=[seed, mode, render, sweep, trace],
+        help="run one experiment and print its table",
+    )
+    p_run.add_argument("experiment", help="experiment id, e.g. E4")
+    p_run.add_argument("--out", default=None, help="also save the result as JSON to this path")
+
+    p_all = sub.add_parser(
+        "run-all",
+        parents=[seed, mode, render, sweep, trace, only],
+        help="run every experiment in catalog order",
+    )
+    p_all.add_argument("--out", default=None, help="also write the report to this file")
+
+    p_prof = sub.add_parser(
+        "profile",
+        parents=[seed, mode, sweep, trace],
+        help="run one experiment under a metrics registry and print the span/metric breakdown",
+    )
+    p_prof.add_argument("experiment", help="experiment id, e.g. E4")
+    return parser
 
 
 def _render(result, markdown: bool) -> str:
     return result.to_markdown() if markdown else result.table()
+
+
+def _make_observer(args, *, with_registry: bool = False) -> Observer | None:
+    """Observer for a CLI invocation, or ``None`` when nothing to record."""
+    trace_out = getattr(args, "trace_out", None)
+    if not with_registry and not trace_out:
+        return None
+    return Observer(
+        MetricsRegistry() if with_registry else None,
+        JsonlTraceSink(trace_out) if trace_out else None,
+    )
+
+
+def _observed(obs: Observer | None):
+    """Context installing ``obs`` as ambient; no-op context when ``None``."""
+    return use_observer(obs) if obs is not None else nullcontext()
+
+
+def _finish_observer(obs: Observer | None, trace_out: str | None) -> None:
+    if obs is None:
+        return
+    obs.close()
+    if trace_out and obs.sink is not None:
+        print(
+            f"{obs.sink.num_emitted} trace events written to {trace_out}",
+            file=sys.stderr,
+        )
+
+
+def _run_one(spec, args):
+    """Dispatch one experiment through the sequential or parallel path."""
+    if args.jobs is not None:
+        from .experiments import run_catalog_parallel
+
+        return run_catalog_parallel(
+            [spec.experiment_id],
+            quick=not args.full,
+            seed=args.seed,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )[0]
+    return run_experiment(
+        spec.experiment_id,
+        quick=not args.full,
+        seed=args.seed,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -113,7 +234,22 @@ def main(argv: list[str] | None = None) -> int:
 
         from .radio.dynamics import DYNAMICS_REGISTRY
 
+        wanted = (
+            {token for token in args.only.split(",") if token}
+            if args.only
+            else None
+        )
+        if wanted is not None:
+            unknown = wanted - set(DYNAMICS_REGISTRY)
+            if unknown:
+                print(
+                    f"unknown dynamics: {', '.join(sorted(unknown))}",
+                    file=sys.stderr,
+                )
+                return 2
         for name, cls in sorted(DYNAMICS_REGISTRY.items()):
+            if wanted is not None and name not in wanted:
+                continue
             flags = []
             if cls.supports_faults:
                 flags.append("fault-aware")
@@ -142,27 +278,12 @@ def main(argv: list[str] | None = None) -> int:
                 "--checkpoint/--resume ignored",
                 file=sys.stderr,
             )
+        obs = _make_observer(args)
         start = time.perf_counter()
-        if args.jobs is not None:
-            from .experiments import run_catalog_parallel
-
-            result = run_catalog_parallel(
-                [spec.experiment_id],
-                quick=not args.full,
-                seed=args.seed,
-                jobs=args.jobs,
-                checkpoint=args.checkpoint,
-                resume=args.resume,
-            )[0]
-        else:
-            result = run_experiment(
-                args.experiment,
-                quick=not args.full,
-                seed=args.seed,
-                checkpoint=args.checkpoint,
-                resume=args.resume,
-            )
+        with _observed(obs):
+            result = _run_one(spec, args)
         elapsed = time.perf_counter() - start
+        _finish_observer(obs, args.trace_out)
         print(_render(result, args.markdown))
         print(f"\n({'full' if args.full else 'quick'} mode, {elapsed:.1f}s)")
         if args.out:
@@ -183,19 +304,21 @@ def main(argv: list[str] | None = None) -> int:
             specs = [get_experiment(token) for token in args.only.split(",") if token]
         else:
             specs = list(EXPERIMENTS.values())
+        obs = _make_observer(args)
         chunks = []
         if args.jobs is not None:
             from .experiments import run_catalog_parallel
 
             start = time.perf_counter()
-            results = run_catalog_parallel(
-                [spec.experiment_id for spec in specs],
-                quick=not args.full,
-                seed=args.seed,
-                jobs=args.jobs,
-                checkpoint=args.checkpoint,
-                resume=args.resume,
-            )
+            with _observed(obs):
+                results = run_catalog_parallel(
+                    [spec.experiment_id for spec in specs],
+                    quick=not args.full,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    checkpoint=args.checkpoint,
+                    resume=args.resume,
+                )
             elapsed = time.perf_counter() - start
             for result in results:
                 chunk = _render(result, args.markdown)
@@ -204,23 +327,48 @@ def main(argv: list[str] | None = None) -> int:
                 chunks.append(chunk)
             print(f"({len(results)} experiments, --jobs {args.jobs}, {elapsed:.1f}s)")
         else:
-            for spec in specs:
-                start = time.perf_counter()
-                result = spec(
-                    quick=not args.full,
-                    seed=args.seed,
-                    checkpoint=args.checkpoint,
-                    resume=args.resume,
-                )
-                elapsed = time.perf_counter() - start
-                chunk = _render(result, args.markdown)
-                print(chunk)
-                print(f"({elapsed:.1f}s)\n")
-                chunks.append(chunk)
+            with _observed(obs):
+                for spec in specs:
+                    start = time.perf_counter()
+                    result = spec(
+                        quick=not args.full,
+                        seed=args.seed,
+                        checkpoint=args.checkpoint,
+                        resume=args.resume,
+                    )
+                    elapsed = time.perf_counter() - start
+                    chunk = _render(result, args.markdown)
+                    print(chunk)
+                    print(f"({elapsed:.1f}s)\n")
+                    chunks.append(chunk)
+        _finish_observer(obs, args.trace_out)
         if args.out:
             with open(args.out, "w") as fh:
                 fh.write("\n\n".join(chunks) + "\n")
             print(f"report written to {args.out}")
+        return 0
+
+    if args.command == "profile":
+        if args.resume and not args.checkpoint:
+            print("--resume requires --checkpoint", file=sys.stderr)
+            return 2
+        if args.jobs is not None and args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
+        spec = get_experiment(args.experiment)
+        obs = _make_observer(args, with_registry=True)
+        start = time.perf_counter()
+        with _observed(obs):
+            result = _run_one(spec, args)
+        elapsed = time.perf_counter() - start
+        _finish_observer(obs, args.trace_out)
+        print(f"[{result.experiment_id}] {spec.title} — profile")
+        print(
+            f"({'full' if args.full else 'quick'} mode, seed {args.seed}, "
+            f"{elapsed:.1f}s wall)"
+        )
+        print()
+        print(obs.registry.report())
         return 0
 
     return 2  # unreachable: argparse enforces the command set

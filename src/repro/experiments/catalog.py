@@ -12,6 +12,7 @@ from typing import Callable
 
 from .._typing import SeedLike
 from ..errors import InvalidParameterError
+from ..obs import maybe_span
 from . import exp_analysis, exp_bounds, exp_extensions, exp_structure
 from .runner import ExperimentResult
 
@@ -52,7 +53,8 @@ class ExperimentSpec:
         """
         supported = self.supported_options()
         extra = {k: v for k, v in options.items() if k in supported}
-        return self.run(quick=quick, seed=seed, **extra)
+        with maybe_span(f"experiment.{self.experiment_id}"):
+            return self.run(quick=quick, seed=seed, **extra)
 
 
 EXPERIMENTS: dict[str, ExperimentSpec] = {

@@ -35,6 +35,14 @@ import numpy as np
 
 from .._typing import SeedLike
 from ..errors import InvalidParameterError
+from ..obs import (
+    MemoryTraceSink,
+    MetricsRegistry,
+    Observer,
+    current_observer,
+    maybe_span,
+    use_observer,
+)
 from ..rng import spawn_seeds
 from .catalog import get_experiment
 from .runner import ExperimentResult
@@ -59,6 +67,34 @@ class SweepTask:
 def _call_task(task: SweepTask, child: np.random.SeedSequence) -> Any:
     """Module-level trampoline so tasks pickle into worker processes."""
     return task.fn(seed=child, **task.kwargs)
+
+
+def _call_task_observed(task: SweepTask, child: np.random.SeedSequence):
+    """Worker-side trampoline that records observability locally.
+
+    Runs in the worker process when the *parent* sweep has an observer
+    attached.  The worker installs a fresh registry and in-memory sink
+    (observers themselves do not cross process boundaries — sinks hold
+    file handles), tags events with the task key, and ships back
+    ``(result, registry_snapshot, events)`` for the parent to merge in
+    deterministic task order.
+    """
+    registry = MetricsRegistry()
+    sink = MemoryTraceSink()
+    worker_obs = Observer(registry, sink, tags={"task": task.key})
+    with use_observer(worker_obs):
+        with worker_obs.span("sweep.task", label=task.key):
+            result = task.fn(seed=child, **task.kwargs)
+    return result, registry.snapshot(), sink.events
+
+
+def _merge_worker_observations(obs: Observer, snapshot: dict, events: list) -> None:
+    """Fold one worker's registry snapshot and buffered events into ``obs``."""
+    if obs.registry is not None:
+        obs.registry.merge_snapshot(snapshot)
+    if obs.sink is not None:
+        for event in events:
+            obs.emit(event)
 
 
 def run_parallel_sweep(
@@ -87,14 +123,39 @@ def run_parallel_sweep(
         raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
     tasks = list(tasks)
     children = spawn_seeds(seed, len(tasks))
+    obs = current_observer()
+    if obs is not None and not obs.active:
+        obs = None
     if jobs == 1 or len(tasks) <= 1:
-        return [_call_task(task, child) for task, child in zip(tasks, children)]
+        # In-process: the ambient observer is visible to the engines
+        # directly, so no snapshot transport is needed — only the
+        # per-task span.
+        out = []
+        for task, child in zip(tasks, children):
+            with maybe_span("sweep.task", label=task.key):
+                out.append(_call_task(task, child))
+        return out
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        if obs is None:
+            futures = [
+                pool.submit(_call_task, task, child)
+                for task, child in zip(tasks, children)
+            ]
+            return [f.result() for f in futures]
+        # Observed sweep: each worker records into its own registry and
+        # in-memory sink; the parent merges in task order, so the merged
+        # metrics and event stream do not depend on scheduling (events
+        # from different tasks are grouped, not interleaved).
         futures = [
-            pool.submit(_call_task, task, child)
+            pool.submit(_call_task_observed, task, child)
             for task, child in zip(tasks, children)
         ]
-        return [f.result() for f in futures]
+        results = []
+        for future in futures:
+            result, snapshot, events = future.result()
+            _merge_worker_observations(obs, snapshot, events)
+            results.append(result)
+        return results
 
 
 def child_seed_int(child: np.random.SeedSequence) -> int:

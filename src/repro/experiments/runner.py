@@ -10,6 +10,7 @@ import numpy as np
 from .._typing import SeedLike
 from ..errors import BroadcastIncompleteError
 from ..gossip.batch import run_gossip_batch, run_multimessage_batch
+from ..obs import maybe_span
 from ..gossip.multimessage import simulate_multimessage
 from ..gossip.simulator import simulate_gossip
 from ..radio.engine import run_broadcast_batch
@@ -146,42 +147,45 @@ def protocol_times(
     bit-for-bit invisible in the results (pinned by
     ``tests/radio/test_batch.py``).
     """
-    if repetitions >= 1 and getattr(protocol, "supports_batch", False):
-        batch = run_broadcast_batch(
-            network,
-            protocol,
-            source,
-            repetitions=repetitions,
-            p=p,
-            seed=seed,
-            max_rounds=max_rounds,
-            check_connected=check_connected,
-        )
-        if with_fractions:
-            return batch.completion_rounds, batch.informed_fractions
-        return batch.completion_rounds
-    out = np.empty(repetitions, dtype=float)
-    fractions = np.empty(repetitions, dtype=float)
-    n = network.n
-    for i, rng in enumerate(spawn_generators(seed, repetitions)):
-        try:
-            trace = simulate_broadcast(
+    with maybe_span("sweep.protocol_times", label=protocol.name):
+        if repetitions >= 1 and getattr(protocol, "supports_batch", False):
+            batch = run_broadcast_batch(
                 network,
                 protocol,
                 source,
-                seed=rng,
-                max_rounds=max_rounds,
+                repetitions=repetitions,
                 p=p,
+                seed=seed,
+                max_rounds=max_rounds,
                 check_connected=check_connected,
             )
-            out[i] = trace.completion_round
-            fractions[i] = 1.0
-        except BroadcastIncompleteError as exc:
-            out[i] = np.inf
-            fractions[i] = exc.trace.num_informed / n if exc.trace is not None else 0.0
-    if with_fractions:
-        return out, fractions
-    return out
+            if with_fractions:
+                return batch.completion_rounds, batch.informed_fractions
+            return batch.completion_rounds
+        out = np.empty(repetitions, dtype=float)
+        fractions = np.empty(repetitions, dtype=float)
+        n = network.n
+        for i, rng in enumerate(spawn_generators(seed, repetitions)):
+            try:
+                trace = simulate_broadcast(
+                    network,
+                    protocol,
+                    source,
+                    seed=rng,
+                    max_rounds=max_rounds,
+                    p=p,
+                    check_connected=check_connected,
+                )
+                out[i] = trace.completion_round
+                fractions[i] = 1.0
+            except BroadcastIncompleteError as exc:
+                out[i] = np.inf
+                fractions[i] = (
+                    exc.trace.num_informed / n if exc.trace is not None else 0.0
+                )
+        if with_fractions:
+            return out, fractions
+        return out
 
 
 def _knowledge_times_serial(
@@ -235,39 +239,40 @@ def gossip_times(
     fraction of known (node, rumor) pairs.
     """
     fault_free = faults is None or getattr(faults, "is_null", False)
-    if (
-        repetitions >= 1
-        and fault_free
-        and getattr(protocol, "supports_batch", False)
-    ):
-        batch = run_gossip_batch(
-            network,
-            protocol,
-            repetitions=repetitions,
-            p=p,
-            seed=seed,
-            max_rounds=max_rounds,
-            check_connected=check_connected,
+    with maybe_span("sweep.gossip_times", label=protocol.name):
+        if (
+            repetitions >= 1
+            and fault_free
+            and getattr(protocol, "supports_batch", False)
+        ):
+            batch = run_gossip_batch(
+                network,
+                protocol,
+                repetitions=repetitions,
+                p=p,
+                seed=seed,
+                max_rounds=max_rounds,
+                check_connected=check_connected,
+            )
+            if with_fractions:
+                return batch.completion_rounds, batch.knowledge_fractions
+            return batch.completion_rounds
+        return _knowledge_times_serial(
+            lambda rng: simulate_gossip(
+                network,
+                protocol,
+                p=p,
+                seed=rng,
+                max_rounds=max_rounds,
+                check_connected=check_connected,
+                faults=faults,
+            ),
+            repetitions,
+            seed,
+            network.n,
+            network.n,
+            with_fractions,
         )
-        if with_fractions:
-            return batch.completion_rounds, batch.knowledge_fractions
-        return batch.completion_rounds
-    return _knowledge_times_serial(
-        lambda rng: simulate_gossip(
-            network,
-            protocol,
-            p=p,
-            seed=rng,
-            max_rounds=max_rounds,
-            check_connected=check_connected,
-            faults=faults,
-        ),
-        repetitions,
-        seed,
-        network.n,
-        network.n,
-        with_fractions,
-    )
 
 
 def multimessage_times(
@@ -292,41 +297,42 @@ def multimessage_times(
     """
     sources = np.asarray(sources, dtype=np.int64)
     fault_free = faults is None or getattr(faults, "is_null", False)
-    if (
-        repetitions >= 1
-        and fault_free
-        and getattr(protocol, "supports_batch", False)
-    ):
-        batch = run_multimessage_batch(
-            network,
-            protocol,
-            sources,
-            repetitions=repetitions,
-            p=p,
-            seed=seed,
-            max_rounds=max_rounds,
-            check_connected=check_connected,
+    with maybe_span("sweep.multimessage_times", label=protocol.name):
+        if (
+            repetitions >= 1
+            and fault_free
+            and getattr(protocol, "supports_batch", False)
+        ):
+            batch = run_multimessage_batch(
+                network,
+                protocol,
+                sources,
+                repetitions=repetitions,
+                p=p,
+                seed=seed,
+                max_rounds=max_rounds,
+                check_connected=check_connected,
+            )
+            if with_fractions:
+                return batch.completion_rounds, batch.knowledge_fractions
+            return batch.completion_rounds
+        return _knowledge_times_serial(
+            lambda rng: simulate_multimessage(
+                network,
+                protocol,
+                sources,
+                p=p,
+                seed=rng,
+                max_rounds=max_rounds,
+                check_connected=check_connected,
+                faults=faults,
+            ),
+            repetitions,
+            seed,
+            int(sources.size),
+            network.n,
+            with_fractions,
         )
-        if with_fractions:
-            return batch.completion_rounds, batch.knowledge_fractions
-        return batch.completion_rounds
-    return _knowledge_times_serial(
-        lambda rng: simulate_multimessage(
-            network,
-            protocol,
-            sources,
-            p=p,
-            seed=rng,
-            max_rounds=max_rounds,
-            check_connected=check_connected,
-            faults=faults,
-        ),
-        repetitions,
-        seed,
-        int(sources.size),
-        network.n,
-        with_fractions,
-    )
 
 
 def scheduler_rounds(

@@ -23,13 +23,16 @@ accordingly.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from .._typing import BoolArray, FloatArray, IntArray, SeedLike
 from ..errors import DisconnectedGraphError, InvalidParameterError
 from ..graphs.bfs import bfs_distances
+from ..obs import SCHEMA_VERSION, current_observer
 from ..radio.model import RadioNetwork
 from ..radio.protocol import RadioProtocol
 from ..rng import spawn_generators
@@ -41,6 +44,12 @@ __all__ = ["BatchGossipResult", "run_gossip_batch", "run_multimessage_batch"]
 @dataclass(frozen=True)
 class BatchGossipResult:
     """Per-trial outcomes of a batched gossip / k-token run.
+
+    Shares the read-only result interface of the serial traces and
+    :class:`~repro.radio.engine.BatchBroadcastResult` (``num_rounds``,
+    ``completed``, ``total_transmissions``, ``total_collisions``,
+    ``informed_curve()``); the per-round aggregates exist only when the
+    batch ran with ``with_stats=True`` or under an observer.
 
     Attributes
     ----------
@@ -54,7 +63,14 @@ class BatchGossipResult:
         some node first knew every token (``inf`` if never observed).
         Tracked only when requested — it is the accumulate-vs-disseminate
         split E13 reports.
-    rounds_executed: lockstep rounds the engine ran.
+    num_rounds: lockstep rounds the engine ran.
+    transmissions_per_round: shape ``(num_rounds,)`` transmitter counts
+        summed over active trials, or ``None`` when stats were off.
+    collisions_per_round: shape ``(num_rounds,)`` collided-listener
+        counts summed over active trials, or ``None`` when stats were off.
+    complete_node_totals: shape ``(num_rounds + 1,)`` all-knowing-node
+        totals summed over *all* trials after each round, or ``None``
+        when stats were off.
     """
 
     n: int
@@ -62,7 +78,10 @@ class BatchGossipResult:
     completion_rounds: FloatArray
     knowledge_fractions: FloatArray
     first_complete_rounds: FloatArray | None
-    rounds_executed: int
+    num_rounds: int
+    transmissions_per_round: IntArray | None = None
+    collisions_per_round: IntArray | None = None
+    complete_node_totals: IntArray | None = None
 
     @property
     def repetitions(self) -> int:
@@ -70,13 +89,79 @@ class BatchGossipResult:
         return int(self.completion_rounds.size)
 
     @property
-    def completed(self) -> BoolArray:
+    def completed(self) -> bool:
+        """True iff *every* trial finished within the budget.
+
+        This matches the serial traces' boolean ``completed``; the
+        per-trial mask the old accessor returned is
+        :attr:`completed_mask`.
+        """
+        return bool(np.all(np.isfinite(self.completion_rounds)))
+
+    @property
+    def completed_mask(self) -> BoolArray:
         """Mask of trials where every node learned every token in budget."""
         return np.isfinite(self.completion_rounds)
 
     @property
     def num_completed(self) -> int:
-        return int(np.count_nonzero(self.completed))
+        """Number of trials that completed within the budget."""
+        return int(np.count_nonzero(self.completed_mask))
+
+    @property
+    def rounds_executed(self) -> int:
+        """Deprecated alias for :attr:`num_rounds`."""
+        warnings.warn(
+            "BatchGossipResult.rounds_executed is deprecated; use num_rounds",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.num_rounds
+
+    def _stats(self, what: str):
+        value = getattr(self, what)
+        if value is None:
+            raise ValueError(
+                f"{what} not recorded; rerun the batch with with_stats=True "
+                "(or under an observer)"
+            )
+        return value
+
+    @property
+    def total_transmissions(self) -> int:
+        """Transmitter-slot total over all rounds and trials.
+
+        Requires the batch to have run with ``with_stats=True``.
+        """
+        return int(self._stats("transmissions_per_round").sum())
+
+    @property
+    def total_collisions(self) -> int:
+        """Collided-listener total over all rounds and trials.
+
+        Requires the batch to have run with ``with_stats=True``.
+        """
+        return int(self._stats("collisions_per_round").sum())
+
+    def informed_curve(self) -> IntArray:
+        """``curve[t]`` = all-knowing nodes after round ``t``, over trials.
+
+        The gossip analogue of the broadcast informed curve: a node
+        counts once it knows every token.  Requires the batch to have
+        run with ``with_stats=True``.
+        """
+        return self._stats("complete_node_totals").copy()
+
+    def summary(self) -> dict:
+        """Headline numbers for reports (mirrors the serial traces)."""
+        return {
+            "n": self.n,
+            "tokens": self.num_tokens,
+            "repetitions": self.repetitions,
+            "rounds": self.num_rounds,
+            "completed": self.completed,
+            "num_completed": self.num_completed,
+        }
 
 
 def _run_knowledge_batch(
@@ -90,8 +175,11 @@ def _run_knowledge_batch(
     max_rounds: int | None,
     check_connected: bool,
     with_first_complete: bool,
+    with_stats: bool = False,
+    obs=None,
 ) -> BatchGossipResult:
     n = network.n
+    engine = "gossip-batch" if sources is None else "multimessage-batch"
     if repetitions < 1:
         raise InvalidParameterError(f"repetitions must be >= 1, got {repetitions}")
     root = 0 if sources is None else int(sources[0])
@@ -105,6 +193,31 @@ def _run_knowledge_batch(
         max_rounds = default_gossip_round_cap(n)
     rngs = spawn_generators(seed, repetitions)
     protocol.prepare(n, p, root)
+
+    if obs is None:
+        obs = current_observer()
+    if obs is not None and not obs.active:
+        obs = None
+    collect = with_stats or obs is not None
+    tx_counts: list[int] = []
+    coll_counts: list[int] = []
+    complete_totals: list[int] = []
+    run_id = -1
+    run_t0 = 0.0
+    if obs is not None:
+        run_id = obs.next_run_id()
+        run_t0 = perf_counter()
+        obs.emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "batch-start",
+                "run": run_id,
+                "engine": engine,
+                "n": n,
+                "repetitions": int(repetitions),
+                "max_rounds": int(max_rounds),
+            }
+        )
 
     # Trial-major state, compacted as trials finish — the same layout
     # discipline as ``run_broadcast_batch``.  ``knowledge`` is (R, n, k);
@@ -139,6 +252,8 @@ def _run_knowledge_batch(
     # would.
     if with_first_complete:
         note_first_complete(0.0)
+    if collect:
+        complete_totals.append(int(knowledge.all(axis=2).sum()))
     done0 = knowledge.all(axis=(1, 2))
     if done0.any():
         completion[trial_ids[done0]] = 0.0
@@ -153,6 +268,9 @@ def _run_knowledge_batch(
         if trial_ids.size == 0:
             break
         rounds_executed = t
+        if obs is not None:
+            round_t0 = perf_counter()
+            active = int(trial_ids.size)
         has = knowledge.any(axis=2)  # (R_active, n) content holders
         mask = np.asarray(
             protocol.transmit_mask_batch(t, has.T, has_round.T, rngs), dtype=bool
@@ -164,11 +282,14 @@ def _run_knowledge_batch(
         step = network.step_batch(
             rows.T,
             has.T,
-            with_collided=False,
+            with_collided=collect,
             with_transmitters=False,
             assume_informed=True,
             with_informer=True,
         )
+        if collect:
+            tx_counts.append(int(np.count_nonzero(rows)))
+            coll_counts.append(int(np.count_nonzero(step.collided)))
         received = step.received
         informer = step.informer
         # Knowledge merging is inherently per-trial: each trial gathers
@@ -192,18 +313,67 @@ def _run_knowledge_batch(
             has_round = has_round[keep]
             trial_ids = trial_ids[keep]
             rngs = [rngs[r] for r in np.flatnonzero(keep)]
+        if collect:
+            done_trials = repetitions - int(trial_ids.size)
+            complete_totals.append(
+                int(knowledge.all(axis=2).sum()) + done_trials * n
+            )
+        if obs is not None:
+            wall = perf_counter() - round_t0
+            obs.inc("batch.rounds", 1, label=protocol.name)
+            obs.inc("batch.transmissions", tx_counts[-1], label=protocol.name)
+            obs.inc("batch.collisions", coll_counts[-1], label=protocol.name)
+            obs.observe("batch.round_wall_s", wall, label=protocol.name)
+            if obs.sink is not None:
+                obs.emit(
+                    {
+                        "v": SCHEMA_VERSION,
+                        "kind": "batch-round",
+                        "run": run_id,
+                        "engine": engine,
+                        "t": t,
+                        "active": active,
+                        "transmitters": tx_counts[-1],
+                        "collisions": coll_counts[-1],
+                        "wall_s": wall,
+                    }
+                )
 
     fractions = np.ones(repetitions)
     if trial_ids.size:
         fractions[trial_ids] = knowledge.sum(axis=(1, 2)) / float(n * k)
-    return BatchGossipResult(
+    result = BatchGossipResult(
         n=n,
         num_tokens=k,
         completion_rounds=completion,
         knowledge_fractions=fractions,
         first_complete_rounds=first_complete,
-        rounds_executed=rounds_executed,
+        num_rounds=rounds_executed,
+        transmissions_per_round=(
+            np.asarray(tx_counts, dtype=np.int64) if collect else None
+        ),
+        collisions_per_round=(
+            np.asarray(coll_counts, dtype=np.int64) if collect else None
+        ),
+        complete_node_totals=(
+            np.asarray(complete_totals, dtype=np.int64) if collect else None
+        ),
     )
+    if obs is not None:
+        wall = perf_counter() - run_t0
+        obs.observe("batch.wall_s", wall, label=protocol.name)
+        obs.emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "batch-end",
+                "run": run_id,
+                "engine": engine,
+                "rounds": rounds_executed,
+                "num_completed": result.num_completed,
+                "wall_s": wall,
+            }
+        )
+    return result
 
 
 def run_gossip_batch(
@@ -216,6 +386,8 @@ def run_gossip_batch(
     max_rounds: int | None = None,
     check_connected: bool = True,
     with_first_complete: bool = False,
+    with_stats: bool = False,
+    obs=None,
 ) -> BatchGossipResult:
     """Run ``repetitions`` independent healthy gossip trials in lockstep.
 
@@ -223,7 +395,8 @@ def run_gossip_batch(
     :func:`~repro.gossip.simulator.simulate_gossip` calls seeded with
     ``spawn_generators(seed, repetitions)``; see the module docstring.
     Trials that exhaust the budget report ``inf`` completion rounds
-    instead of raising.
+    instead of raising.  ``with_stats``/``obs`` behave as in
+    :func:`~repro.radio.engine.run_broadcast_batch`.
     """
     return _run_knowledge_batch(
         network,
@@ -235,6 +408,8 @@ def run_gossip_batch(
         max_rounds=max_rounds,
         check_connected=check_connected,
         with_first_complete=with_first_complete,
+        with_stats=with_stats,
+        obs=obs,
     )
 
 
@@ -249,13 +424,16 @@ def run_multimessage_batch(
     max_rounds: int | None = None,
     check_connected: bool = True,
     with_first_complete: bool = False,
+    with_stats: bool = False,
+    obs=None,
 ) -> BatchGossipResult:
     """Run ``repetitions`` independent healthy k-token trials in lockstep.
 
     All trials share the ``sources`` token placement; per-trial source
     draws need the serial path.  Bit-for-bit equivalent to sequential
     :func:`~repro.gossip.multimessage.simulate_multimessage` calls seeded
-    with ``spawn_generators(seed, repetitions)``.
+    with ``spawn_generators(seed, repetitions)``.  ``with_stats``/``obs``
+    behave as in :func:`~repro.radio.engine.run_broadcast_batch`.
     """
     sources = check_sources(sources, network.n)
     return _run_knowledge_batch(
@@ -268,4 +446,6 @@ def run_multimessage_batch(
         max_rounds=max_rounds,
         check_connected=check_connected,
         with_first_complete=with_first_complete,
+        with_stats=with_stats,
+        obs=obs,
     )

@@ -97,6 +97,12 @@ class KnowledgeDynamics(Dynamics):
             nodes_complete=int(np.count_nonzero(counts == self._k)),
         )
 
+    def event_fields(self, record):
+        return {
+            "pairs_known": record.pairs_known,
+            "nodes_complete": record.nodes_complete,
+        }
+
     def finish(self, trace, target, full_target, finished):
         if finished and not full_target:
             # Mirror broadcast's target-relative completion report: nodes
@@ -118,6 +124,11 @@ class GossipDynamics(KnowledgeDynamics):
 
     name = "gossip"
     summary = "all-to-all rumor exchange, radio channel (paper Section 4)"
+
+    @classmethod
+    def build(cls, network, *, protocol, p=None):
+        """``simulate("gossip", ...)`` — mirrors :func:`simulate_gossip`."""
+        return cls(protocol, p)
 
     def start(self, network, rng, fault_path):
         n = network.n
@@ -146,7 +157,11 @@ class GossipDynamics(KnowledgeDynamics):
         self.knowledge[ids, ids] = True  # a rejoining node re-derives its own rumor
 
     def make_trace(self):
-        return GossipTrace(n=self._n)
+        counts = self.knowledge.sum(axis=1)
+        return GossipTrace(
+            n=self._n,
+            initial_nodes_complete=int(np.count_nonzero(counts == self._k)),
+        )
 
     def incomplete_message(self, max_rounds, target, full_target):
         counts = self.knowledge.sum(axis=1)
@@ -180,6 +195,12 @@ class MultiMessageDynamics(KnowledgeDynamics):
         self.sources = sources
         self.connectivity_root = int(sources[0])
         self.has_round: IntArray | None = None
+
+    @classmethod
+    def build(cls, network, *, protocol, sources, p=None):
+        """``simulate("multimessage", ...)`` — mirrors
+        :func:`~repro.gossip.multimessage.simulate_multimessage`."""
+        return cls(protocol, check_sources(sources, network.n), p)
 
     def start(self, network, rng, fault_path):
         n = network.n
@@ -218,7 +239,12 @@ class MultiMessageDynamics(KnowledgeDynamics):
             self.has_round[fresh] = t
 
     def make_trace(self):
-        return GossipTrace(n=self._n, num_tokens=self._k)
+        counts = self.knowledge.sum(axis=1)
+        return GossipTrace(
+            n=self._n,
+            num_tokens=self._k,
+            initial_nodes_complete=int(np.count_nonzero(counts == self._k)),
+        )
 
     def incomplete_message(self, max_rounds, target, full_target):
         return (

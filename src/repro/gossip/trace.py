@@ -34,12 +34,16 @@ class GossipTrace:
     knowledge_counts: final per-node number of rumors known.
     num_tokens: number of distinct rumors in play (``n`` for full gossip,
         ``k`` for :func:`~repro.gossip.multimessage.simulate_multimessage`).
+    initial_nodes_complete: nodes that already knew every token before
+        round 1 (anchors :meth:`informed_curve`; ``0`` for full gossip on
+        ``n > 1`` nodes, ``1`` for single-token dissemination).
     """
 
     n: int
     records: list[GossipRoundRecord] = field(default_factory=list)
     knowledge_counts: IntArray | None = None
     num_tokens: int | None = None
+    initial_nodes_complete: int = 0
 
     @property
     def tokens(self) -> int:
@@ -67,6 +71,33 @@ class GossipTrace:
             if rec.nodes_complete == self.n:
                 return rec.round_index
         return self.num_rounds
+
+    @property
+    def total_transmissions(self) -> int:
+        """Sum of transmitter counts over all rounds (energy proxy)."""
+        return sum(r.num_transmitters for r in self.records)
+
+    @property
+    def total_collisions(self) -> int:
+        """Collided-listener total — always ``0`` for knowledge traces.
+
+        :class:`GossipRoundRecord` does not carry a collision count (and
+        cannot grow one without breaking stored traces), so this reports
+        zero; it exists so gossip traces satisfy the shared
+        ``SimulationResult`` interface.  Attach an observer to count
+        collisions per round.
+        """
+        return sum(getattr(r, "num_collided", 0) for r in self.records)
+
+    def informed_curve(self) -> IntArray:
+        """``curve[t]`` = nodes knowing *every* token after round ``t``.
+
+        The gossip analogue of the broadcast informed curve; ``curve[0]``
+        is :attr:`initial_nodes_complete`.
+        """
+        counts = [self.initial_nodes_complete]
+        counts.extend(rec.nodes_complete for rec in self.records)
+        return np.array(counts, dtype=np.int64)
 
     def rounds_until_first_complete_node(self) -> int:
         """First round after which some node knows everything.

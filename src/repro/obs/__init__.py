@@ -1,0 +1,52 @@
+"""Observability for the dissemination core: metrics, spans, trace events.
+
+The subsystem has three small parts and one composition point:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — labeled counters, gauges
+  and histograms; snapshottable and mergeable across processes;
+* :class:`~repro.obs.spans.Span` — ``perf_counter`` timing contexts
+  recording into ``span.*`` histogram series;
+* :class:`~repro.obs.sinks.TraceSink` — destinations for
+  schema-versioned per-round events (:class:`~repro.obs.sinks.JsonlTraceSink`
+  streams JSONL, :class:`~repro.obs.sinks.MemoryTraceSink` buffers);
+* :class:`~repro.obs.context.Observer` — bundles a registry and a sink,
+  installed for a scope with :func:`~repro.obs.context.use_observer` and
+  found by the engines via :func:`~repro.obs.context.current_observer`.
+
+Instrumented engines (``run_dissemination``, the batch kernels, the
+sweep runner, the parallel executor) pay nothing when no observer is
+attached: one ambient lookup per run, one ``is None`` branch per round.
+``repro profile <experiment>`` and ``repro run --trace-out PATH`` are the
+CLI front ends; docs/OBSERVABILITY.md documents metric names and the
+event schema.
+"""
+
+from .context import Observer, current_observer, maybe_span, use_observer
+from .metrics import HistogramSummary, MetricsRegistry
+from .sinks import (
+    SCHEMA_VERSION,
+    JsonlTraceSink,
+    MemoryTraceSink,
+    TraceSink,
+    read_jsonl_events,
+    validate_event,
+)
+from .spans import NULL_SPAN, NullSpan, Span
+
+__all__ = [
+    "Observer",
+    "current_observer",
+    "use_observer",
+    "maybe_span",
+    "MetricsRegistry",
+    "HistogramSummary",
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "TraceSink",
+    "MemoryTraceSink",
+    "JsonlTraceSink",
+    "SCHEMA_VERSION",
+    "validate_event",
+    "read_jsonl_events",
+]

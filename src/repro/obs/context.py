@@ -1,0 +1,143 @@
+"""The Observer: one handle bundling a registry and a sink, plus the
+ambient-observer mechanism the engines consult.
+
+Engines accept an explicit ``obs=`` argument and fall back to the
+*current* observer (:func:`current_observer`), installed for a scope with
+:func:`use_observer`.  The ambient mechanism exists because deep call
+stacks — ``repro run`` → experiment runner → ``protocol_times`` →
+``run_dissemination`` — predate the observability layer and should not
+all grow pass-through parameters; the CLI installs one observer at the
+top and every engine underneath finds it.
+
+The no-op guarantee: with no observer installed and none passed, the
+only cost an instrumented engine pays is one ``current_observer()`` call
+per *run* (a context-variable read) and one ``is None`` branch per
+round.  No event dicts, no ``perf_counter`` calls, no allocations.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from itertools import count
+from time import perf_counter
+
+from .spans import NULL_SPAN, Span
+
+__all__ = ["Observer", "current_observer", "use_observer", "maybe_span"]
+
+
+class Observer:
+    """Instrumentation handle: a metrics registry and/or a trace sink.
+
+    Parameters
+    ----------
+    registry: a :class:`~repro.obs.metrics.MetricsRegistry`, or ``None``
+        to skip metric accumulation.
+    sink: a :class:`~repro.obs.sinks.TraceSink`, or ``None`` to skip
+        event emission.
+    tags: optional constant key/value pairs stamped into every emitted
+        event (the parallel executor tags per-worker events with their
+        sweep-task key).
+
+    At least one of ``registry``/``sink`` should be given — an Observer
+    with neither observes nothing, and engines treat it as absent.
+    """
+
+    __slots__ = ("registry", "sink", "tags", "_run_ids")
+
+    def __init__(self, registry=None, sink=None, *, tags: dict | None = None):
+        self.registry = registry
+        self.sink = sink
+        self.tags = dict(tags) if tags else None
+        self._run_ids = count()
+
+    @property
+    def active(self) -> bool:
+        """True when this observer records anything at all."""
+        return self.registry is not None or self.sink is not None
+
+    def next_run_id(self) -> int:
+        """Fresh id correlating one run's start/round/end events."""
+        return next(self._run_ids)
+
+    # -- convenience forwarding ---------------------------------------
+
+    def emit(self, event: dict) -> None:
+        """Send one event to the sink (no-op without one); applies tags."""
+        if self.sink is not None:
+            if self.tags:
+                event = {**event, **self.tags}
+            self.sink.emit(event)
+
+    def inc(self, name: str, value: float = 1.0, *, label: str = "") -> None:
+        """Increment a registry counter (no-op without a registry)."""
+        if self.registry is not None:
+            self.registry.inc(name, value, label=label)
+
+    def observe(self, name: str, value: float, *, label: str = "") -> None:
+        """Record a registry histogram observation (no-op without one)."""
+        if self.registry is not None:
+            self.registry.observe(name, value, label=label)
+
+    def span(self, name: str, *, label: str = ""):
+        """A :class:`~repro.obs.spans.Span` timing into the registry.
+
+        Returns the shared no-op span when no registry is attached, so
+        ``with obs.span(...)`` is always safe.
+        """
+        if self.registry is None:
+            return NULL_SPAN
+        return Span(self.registry, name, label)
+
+    def close(self) -> None:
+        """Close the sink (idempotent; the registry needs no teardown)."""
+        if self.sink is not None:
+            self.sink.close()
+
+    def __repr__(self) -> str:
+        return f"Observer(registry={self.registry!r}, sink={self.sink!r})"
+
+    # -- timing helper -------------------------------------------------
+
+    @staticmethod
+    def clock() -> float:
+        """The observability clock (:func:`time.perf_counter`)."""
+        return perf_counter()
+
+
+_CURRENT: ContextVar[Observer | None] = ContextVar("repro_observer", default=None)
+
+
+def current_observer() -> Observer | None:
+    """The ambient observer installed by :func:`use_observer`, if any."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_observer(obs: Observer | None):
+    """Install ``obs`` as the ambient observer for the ``with`` scope.
+
+    Nesting replaces the observer for the inner scope and restores the
+    outer one on exit; passing ``None`` disables observation inside the
+    scope (useful to shield a sub-computation from an outer observer).
+    """
+    token = _CURRENT.set(obs)
+    try:
+        yield obs
+    finally:
+        _CURRENT.reset(token)
+
+
+def maybe_span(name: str, *, label: str = ""):
+    """Span on the ambient observer's registry, or the shared no-op.
+
+    The one-liner call sites use::
+
+        with maybe_span("sweep.protocol_times", label=protocol.name):
+            ...
+    """
+    obs = _CURRENT.get()
+    if obs is None or obs.registry is None:
+        return NULL_SPAN
+    return Span(obs.registry, name, label)

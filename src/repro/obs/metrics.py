@@ -1,0 +1,268 @@
+"""Counters, gauges and histograms with labeled series.
+
+A :class:`MetricsRegistry` is the in-process accumulation point of the
+observability layer: simulation engines increment counters and record
+timings into it, sweep executors merge per-worker registries into the
+parent's, and ``repro profile`` renders one as a breakdown table.
+
+Design constraints, in order:
+
+* **cheap when absent** — engines guard every instrumentation call with
+  an ``if obs is not None`` check, so a registry never costs anything
+  unless one is attached;
+* **cheap when present** — a counter increment is one dict lookup plus a
+  float add; histograms bucket by :func:`math.log10` without allocating;
+* **mergeable** — :meth:`snapshot` produces a plain picklable dict and
+  :meth:`merge_snapshot` folds one in, which is how per-worker registries
+  travel back over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  boundary (see :mod:`repro.experiments.parallel`).
+
+Series are keyed by ``(name, label)``; the empty label is the unlabeled
+series.  Metric names are dotted paths (``round.transmissions``,
+``span.experiment.E4``) by convention, not enforcement.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["HistogramSummary", "MetricsRegistry"]
+
+#: Version tag carried by :meth:`MetricsRegistry.snapshot` payloads so a
+#: future layout change can detect (and refuse) stale snapshots.
+SNAPSHOT_VERSION = 1
+
+#: Histogram bucket boundaries: half-decade log10 edges covering
+#: microseconds to minutes when observations are in seconds, and unit
+#: counts to tens of millions when they are sizes.
+_BUCKET_EDGES = tuple(10.0 ** (e / 2.0) for e in range(-12, 16))
+
+
+def _bucket_index(value: float) -> int:
+    """Index of the first edge >= ``value`` (last bucket is overflow)."""
+    if value <= _BUCKET_EDGES[0]:
+        return 0
+    if value >= _BUCKET_EDGES[-1]:
+        return len(_BUCKET_EDGES)
+    # log-position is exact for the half-decade grid: edge e_i = 10^(i/2 - 6).
+    return max(0, math.ceil(2.0 * (math.log10(value) + 6.0)))
+
+
+class HistogramSummary:
+    """Running summary of one histogram series: moments plus log buckets."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        idx = _bucket_index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (NaN when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+    def as_dict(self) -> dict:
+        """Plain-dict form used by snapshots."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(self.buckets),
+        }
+
+    def merge_dict(self, data: dict) -> None:
+        """Fold a snapshot-form summary into this one."""
+        self.count += data["count"]
+        self.total += data["total"]
+        self.min = min(self.min, data["min"])
+        self.max = max(self.max, data["max"])
+        for idx, cnt in data["buckets"].items():
+            idx = int(idx)
+            self.buckets[idx] = self.buckets.get(idx, 0) + cnt
+
+    def __repr__(self) -> str:
+        return (
+            f"HistogramSummary(count={self.count}, mean={self.mean:.6g}, "
+            f"min={self.min:.6g}, max={self.max:.6g})"
+        )
+
+
+class MetricsRegistry:
+    """Labeled counters, gauges and histograms for one process.
+
+    All mutation methods take ``(name, ..., label="")``; the ``(name,
+    label)`` pair identifies a series.  Reads (:meth:`counter_value`,
+    :meth:`gauge_value`, :meth:`histogram`) return the current state;
+    :meth:`report` renders everything as an aligned text table.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, str], float] = {}
+        self._gauges: dict[tuple[str, str], float] = {}
+        self._histograms: dict[tuple[str, str], HistogramSummary] = {}
+
+    # -- mutation ------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, *, label: str = "") -> None:
+        """Add ``value`` to a counter series (creating it at zero)."""
+        key = (name, label)
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, *, label: str = "") -> None:
+        """Set a gauge series to ``value`` (last write wins on merge)."""
+        self._gauges[(name, label)] = float(value)
+
+    def observe(self, name: str, value: float, *, label: str = "") -> None:
+        """Record one observation into a histogram series."""
+        key = (name, label)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = HistogramSummary()
+        hist.observe(float(value))
+
+    # -- reads ---------------------------------------------------------
+
+    def counter_value(self, name: str, *, label: str = "") -> float:
+        """Current value of a counter series (0 when never incremented)."""
+        return self._counters.get((name, label), 0.0)
+
+    def gauge_value(self, name: str, *, label: str = "") -> float | None:
+        """Current value of a gauge series, or ``None`` when unset."""
+        return self._gauges.get((name, label))
+
+    def histogram(self, name: str, *, label: str = "") -> HistogramSummary | None:
+        """Histogram summary of a series, or ``None`` when never observed."""
+        return self._histograms.get((name, label))
+
+    def counters(self) -> dict[tuple[str, str], float]:
+        """All counter series, keyed by ``(name, label)``."""
+        return dict(self._counters)
+
+    def histograms(self) -> dict[tuple[str, str], HistogramSummary]:
+        """All histogram series, keyed by ``(name, label)``."""
+        return dict(self._histograms)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __bool__(self) -> bool:
+        """A registry is truthy even when empty (presence = instrumentation on)."""
+        return True
+
+    # -- merge / transport ---------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable plain-dict state for cross-process transport.
+
+        Keys are ``name\\x1flabel`` strings (the unit-separator join keeps
+        the payload JSON-compatible as well as picklable).
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "counters": {
+                "\x1f".join(key): value for key, value in self._counters.items()
+            },
+            "gauges": {
+                "\x1f".join(key): value for key, value in self._gauges.items()
+            },
+            "histograms": {
+                "\x1f".join(key): hist.as_dict()
+                for key, hist in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` payload into this registry.
+
+        Counters and histogram summaries add; gauges take the incoming
+        value (last write wins).
+        """
+        if snapshot.get("version") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"cannot merge snapshot version {snapshot.get('version')!r}; "
+                f"this registry speaks version {SNAPSHOT_VERSION}"
+            )
+        for joined, value in snapshot["counters"].items():
+            name, _, lbl = joined.partition("\x1f")
+            key = (name, lbl)
+            self._counters[key] = self._counters.get(key, 0.0) + value
+        for joined, value in snapshot["gauges"].items():
+            name, _, lbl = joined.partition("\x1f")
+            self._gauges[(name, lbl)] = value
+        for joined, data in snapshot["histograms"].items():
+            name, _, lbl = joined.partition("\x1f")
+            key = (name, lbl)
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = HistogramSummary()
+            hist.merge_dict(data)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's state into this one."""
+        self.merge_snapshot(other.snapshot())
+
+    # -- rendering -----------------------------------------------------
+
+    def report(self) -> str:
+        """Aligned text breakdown: histograms (spans first), counters, gauges."""
+        lines: list[str] = []
+
+        def series_name(key: tuple[str, str]) -> str:
+            name, label = key
+            return f"{name}{{{label}}}" if label else name
+
+        spans = {k: v for k, v in self._histograms.items() if k[0].startswith("span.")}
+        others = {k: v for k, v in self._histograms.items() if k not in spans}
+        for title, table in (("spans", spans), ("histograms", others)):
+            if not table:
+                continue
+            lines.append(f"-- {title} " + "-" * max(1, 58 - len(title)))
+            width = max(len(series_name(k)) for k in table)
+            header = (
+                f"{'series':<{width}}  {'count':>8}  {'total':>12}  "
+                f"{'mean':>12}  {'max':>12}"
+            )
+            lines.append(header)
+            for key in sorted(table):
+                hist = table[key]
+                lines.append(
+                    f"{series_name(key):<{width}}  {hist.count:>8d}  "
+                    f"{hist.total:>12.6g}  {hist.mean:>12.6g}  {hist.max:>12.6g}"
+                )
+        if self._counters:
+            lines.append("-- counters " + "-" * 50)
+            width = max(len(series_name(k)) for k in self._counters)
+            for key in sorted(self._counters):
+                value = self._counters[key]
+                rendered = f"{int(value)}" if value == int(value) else f"{value:.6g}"
+                lines.append(f"{series_name(key):<{width}}  {rendered:>14}")
+        if self._gauges:
+            lines.append("-- gauges " + "-" * 52)
+            width = max(len(series_name(k)) for k in self._gauges)
+            for key in sorted(self._gauges):
+                lines.append(f"{series_name(key):<{width}}  {self._gauges[key]:>14.6g}")
+        if not lines:
+            return "(empty registry)"
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )

@@ -1,0 +1,72 @@
+"""Wall-clock spans over :func:`time.perf_counter`.
+
+A :class:`Span` times a ``with`` block and records the duration into a
+registry histogram named ``span.<name>`` — the series ``repro profile``
+groups at the top of its breakdown.  Spans nest: each span also counts
+under its parent via the label dimension when a label is given, but the
+primary structure is the dotted name (``span.experiment.E4``,
+``span.sweep.protocol_times``).
+
+:data:`NULL_SPAN` is the shared no-op used when no registry is attached;
+entering and exiting it does nothing and allocates nothing, which keeps
+``with maybe_span(...)`` safe on hot-ish paths (it is still one context
+manager per *sweep*, never per round).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN"]
+
+
+class Span:
+    """Context manager timing one block into ``span.<name>``.
+
+    Parameters
+    ----------
+    registry: the :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        the duration.
+    name: span name; recorded as histogram series ``span.<name>``.
+    label: optional label distinguishing series under one name (e.g. the
+        protocol being swept).
+    """
+
+    __slots__ = ("registry", "name", "label", "started", "elapsed")
+
+    def __init__(self, registry, name: str, label: str = ""):
+        self.registry = registry
+        self.name = name
+        self.label = label
+        self.started: float | None = None
+        self.elapsed: float | None = None
+
+    def __enter__(self) -> "Span":
+        self.started = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = perf_counter() - self.started
+        self.registry.observe(f"span.{self.name}", self.elapsed, label=self.label)
+
+    def __repr__(self) -> str:
+        return f"Span(name={self.name!r}, elapsed={self.elapsed})"
+
+
+class NullSpan:
+    """The do-nothing span: one shared instance, re-entered freely."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+#: Shared no-op span returned whenever no registry is attached.
+NULL_SPAN = NullSpan()

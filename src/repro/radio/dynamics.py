@@ -48,6 +48,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -58,6 +59,7 @@ from ..errors import (
     InvalidParameterError,
 )
 from ..graphs.bfs import bfs_distances
+from ..obs import SCHEMA_VERSION, current_observer
 from ..rng import as_generator
 from .model import RadioNetwork
 from .protocol import RadioProtocol
@@ -151,6 +153,20 @@ class Dynamics(ABC):
         if "name" in cls.__dict__:
             DYNAMICS_REGISTRY[cls.name] = cls
 
+    @classmethod
+    def build(cls, network: RadioNetwork, **kwargs) -> "Dynamics":
+        """Construct this dynamics from :func:`repro.simulate` keywords.
+
+        Each registered dynamics maps the keyword surface of its legacy
+        entry point (``protocol``, ``source``, ``sources``, ...) onto its
+        constructor, applying the same validation, so ``simulate(name,
+        ...)`` reproduces that entry point exactly.
+        """
+        raise InvalidParameterError(
+            f"{cls.name!r} dynamics does not support simulate(); "
+            "construct it directly and call run_dissemination"
+        )
+
     # -- lifecycle -----------------------------------------------------
 
     @abstractmethod
@@ -219,6 +235,15 @@ class Dynamics(ABC):
     @abstractmethod
     def record(self, t: int, outcome: RoundOutcome):
         """Per-round trace record appended by the driver."""
+
+    def event_fields(self, record) -> dict:
+        """Dynamics-specific extras merged into per-round trace events.
+
+        Called only when an observer with a sink is attached; keys must
+        be JSON-serialisable and stay stable within a schema version
+        (docs/OBSERVABILITY.md).
+        """
+        return {}
 
     @abstractmethod
     def finish(self, trace, target: BoolArray, full_target: bool,
@@ -305,6 +330,9 @@ class SingleMessageDynamics(Dynamics):
             informed_after=int(np.count_nonzero(self.informed)),
         )
 
+    def event_fields(self, record):
+        return {"new": record.num_new, "informed": record.informed_after}
+
     def finish(self, trace, target, full_target, finished):
         # Report completion relative to the target set: when all
         # eventually-alive nodes are informed, permanently dead nodes
@@ -346,6 +374,15 @@ class BroadcastDynamics(SingleMessageDynamics):
         super().__init__(source)
         self.protocol = protocol
         self.p = p
+
+    @classmethod
+    def build(cls, network, *, protocol, source: int = 0, p: float | None = None):
+        """``simulate("broadcast", ...)`` — mirrors :func:`run_broadcast`."""
+        if not 0 <= source < network.n:
+            raise InvalidParameterError(
+                f"source {source} out of range [0, {network.n})"
+            )
+        return cls(protocol, source, p)
 
     def default_round_cap(self, n):
         return default_round_cap(n)
@@ -433,6 +470,34 @@ def _fault_round(network, plan, mask, alive, garbage, rng, need_informer):
     return received, senders, num_collided, int(np.count_nonzero(all_tx))
 
 
+def _observe_round(obs, dynamics, run_id, t, outcome, record, faults, wall):
+    """Fold one round into the attached observer (registry and/or sink)."""
+    name = dynamics.name
+    if obs.registry is not None:
+        reg = obs.registry
+        reg.inc("round.count", 1, label=name)
+        reg.inc("round.transmissions", outcome.num_transmitters, label=name)
+        reg.inc("round.collisions", outcome.num_collided, label=name)
+        reg.inc("round.deliveries", int(outcome.receivers.size), label=name)
+        reg.observe("round.wall_s", wall, label=name)
+    if obs.sink is not None:
+        event = {
+            "v": SCHEMA_VERSION,
+            "kind": "round",
+            "run": run_id,
+            "dynamics": name,
+            "t": t,
+            "transmitters": int(outcome.num_transmitters),
+            "collisions": int(outcome.num_collided),
+            "received": int(outcome.receivers.size),
+            "wall_s": wall,
+        }
+        event.update(dynamics.event_fields(record))
+        if faults is not None:
+            event["faults"] = faults
+        obs.emit(event)
+
+
 def run_dissemination(
     network: RadioNetwork,
     dynamics: Dynamics,
@@ -442,6 +507,7 @@ def run_dissemination(
     max_rounds: int | None = None,
     check_connected: bool = True,
     raise_on_incomplete: bool = True,
+    obs=None,
 ):
     """Run one dissemination process to completion under the shared loop.
 
@@ -465,6 +531,12 @@ def run_dissemination(
     raise_on_incomplete: raise :class:`BroadcastIncompleteError` on a
         budget miss (default); ``False`` returns the partial trace —
         resilient sweeps use that to record structured failures.
+    obs: an :class:`~repro.obs.Observer` receiving per-round metrics and
+        trace events; defaults to the ambient observer installed with
+        :func:`~repro.obs.use_observer`, if any.  Observation never
+        touches the RNG stream or the returned trace — with no observer
+        anywhere the loop runs exactly as before (one ``is None`` branch
+        per round).
 
     Returns
     -------
@@ -492,9 +564,33 @@ def run_dissemination(
     full_target = bool(np.all(target))
     trace = dynamics.make_trace()
 
+    if obs is None:
+        obs = current_observer()
+    if obs is not None and not obs.active:
+        obs = None
+    run_id = -1
+    run_t0 = 0.0
+    if obs is not None:
+        run_id = obs.next_run_id()
+        run_t0 = perf_counter()
+        obs.emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "run-start",
+                "run": run_id,
+                "dynamics": dynamics.name,
+                "n": n,
+                "max_rounds": int(max_rounds),
+                "faulty": not fast,
+            }
+        )
+
     for t in range(1, max_rounds + 1):
         if dynamics.complete(target, full_target):
             break
+        if obs is not None:
+            round_t0 = perf_counter()
+            fault_info = None
         if fast:
             outcome = dynamics.channel_step(t, network, rng)
         else:
@@ -517,10 +613,39 @@ def run_dissemination(
                 num_transmitters=num_tx,
                 num_collided=num_collided,
             )
+            if obs is not None:
+                fault_info = {
+                    "alive": int(np.count_nonzero(alive)),
+                    "forgot": int(lost.size),
+                    "garbage": (
+                        0 if garbage is None else int(np.count_nonzero(garbage & alive))
+                    ),
+                }
         dynamics.update(t, outcome)
-        trace.records.append(dynamics.record(t, outcome))
+        record = dynamics.record(t, outcome)
+        trace.records.append(record)
+        if obs is not None:
+            _observe_round(
+                obs, dynamics, run_id, t, outcome, record, fault_info,
+                perf_counter() - round_t0,
+            )
     finished = dynamics.complete(target, full_target)
     dynamics.finish(trace, target, full_target, finished)
+    if obs is not None:
+        run_wall = perf_counter() - run_t0
+        obs.observe("run.wall_s", run_wall, label=dynamics.name)
+        obs.inc("run.count", 1, label=dynamics.name)
+        obs.emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "run-end",
+                "run": run_id,
+                "dynamics": dynamics.name,
+                "rounds": len(trace.records),
+                "completed": bool(finished),
+                "wall_s": run_wall,
+            }
+        )
     if not finished and raise_on_incomplete:
         raise BroadcastIncompleteError(
             dynamics.incomplete_message(max_rounds, target, full_target), trace=trace

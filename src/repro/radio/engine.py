@@ -18,13 +18,16 @@ zero-fault special case rather than a parallel code path.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
-from .._typing import BoolArray, FloatArray, SeedLike
+from .._typing import BoolArray, FloatArray, IntArray, SeedLike
 from ..errors import DisconnectedGraphError, InvalidParameterError
 from ..graphs.bfs import bfs_distances
+from ..obs import SCHEMA_VERSION, current_observer
 from ..rng import spawn_generators
 from .dynamics import BroadcastDynamics, default_round_cap, run_dissemination
 from .model import RadioNetwork
@@ -50,6 +53,7 @@ def run_broadcast(
     max_rounds: int | None = None,
     check_connected: bool = True,
     raise_on_incomplete: bool = True,
+    obs=None,
 ) -> BroadcastTrace:
     """Run ``protocol`` on ``network`` under an optional fault plan.
 
@@ -75,6 +79,8 @@ def run_broadcast(
     raise_on_incomplete: raise :class:`BroadcastIncompleteError` on a
         budget miss (default); ``False`` returns the partial trace —
         resilient sweeps use that to record structured failures.
+    obs: an :class:`~repro.obs.Observer`; defaults to the ambient one
+        (see :func:`~repro.radio.dynamics.run_dissemination`).
 
     Returns
     -------
@@ -93,12 +99,21 @@ def run_broadcast(
         max_rounds=max_rounds,
         check_connected=check_connected,
         raise_on_incomplete=raise_on_incomplete,
+        obs=obs,
     )
 
 
 @dataclass(frozen=True)
 class BatchBroadcastResult:
     """Per-trial outcomes of a batched multi-trial broadcast run.
+
+    Shares the read-only result interface of the serial trace classes
+    (``num_rounds``, ``completed``, ``total_transmissions``,
+    ``total_collisions``, ``informed_curve()``) so sweep code can consume
+    serial and batched runs interchangeably; the per-round aggregates are
+    only recorded when the batch ran with ``with_stats=True`` or under an
+    observer, since tracking them costs kernel work the Monte-Carlo fast
+    path does not want.
 
     Attributes
     ----------
@@ -108,15 +123,25 @@ class BatchBroadcastResult:
         ``inf`` when it exhausted the round budget.
     informed_fractions: shape ``(R,)``; final informed fraction per trial
         (1.0 for completed trials).
-    rounds_executed: number of lockstep rounds the engine ran (the budget,
-        or the round in which the last active trial completed).
+    num_rounds: number of lockstep rounds the engine ran (the budget, or
+        the round in which the last active trial completed).
+    transmissions_per_round: shape ``(num_rounds,)`` transmitter counts
+        summed over active trials, or ``None`` when stats were off.
+    collisions_per_round: shape ``(num_rounds,)`` collided-listener
+        counts summed over active trials, or ``None`` when stats were off.
+    informed_totals: shape ``(num_rounds + 1,)`` informed-node totals
+        summed over *all* trials after each round (``[0]`` is the initial
+        state), or ``None`` when stats were off.
     """
 
     source: int
     n: int
     completion_rounds: FloatArray
     informed_fractions: FloatArray
-    rounds_executed: int
+    num_rounds: int
+    transmissions_per_round: IntArray | None = None
+    collisions_per_round: IntArray | None = None
+    informed_totals: IntArray | None = None
 
     @property
     def repetitions(self) -> int:
@@ -124,13 +149,79 @@ class BatchBroadcastResult:
         return int(self.completion_rounds.size)
 
     @property
-    def completed(self) -> BoolArray:
+    def completed(self) -> bool:
+        """True iff *every* trial informed all nodes within the budget.
+
+        This matches the serial traces' boolean ``completed``; the
+        per-trial mask the old accessor returned is
+        :attr:`completed_mask`.
+        """
+        return bool(np.all(np.isfinite(self.completion_rounds)))
+
+    @property
+    def completed_mask(self) -> BoolArray:
         """Mask of trials that informed every node within the budget."""
         return np.isfinite(self.completion_rounds)
 
     @property
     def num_completed(self) -> int:
-        return int(np.count_nonzero(self.completed))
+        """Number of trials that completed within the budget."""
+        return int(np.count_nonzero(self.completed_mask))
+
+    @property
+    def rounds_executed(self) -> int:
+        """Deprecated alias for :attr:`num_rounds`."""
+        warnings.warn(
+            "BatchBroadcastResult.rounds_executed is deprecated; "
+            "use num_rounds",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.num_rounds
+
+    def _stats(self, what: str):
+        value = getattr(self, what)
+        if value is None:
+            raise ValueError(
+                f"{what} not recorded; rerun run_broadcast_batch with "
+                "with_stats=True (or under an observer)"
+            )
+        return value
+
+    @property
+    def total_transmissions(self) -> int:
+        """Transmitter-slot total over all rounds and trials (energy proxy).
+
+        Requires the batch to have run with ``with_stats=True``.
+        """
+        return int(self._stats("transmissions_per_round").sum())
+
+    @property
+    def total_collisions(self) -> int:
+        """Collided-listener total over all rounds and trials.
+
+        Requires the batch to have run with ``with_stats=True``.
+        """
+        return int(self._stats("collisions_per_round").sum())
+
+    def informed_curve(self) -> IntArray:
+        """``curve[t]`` = informed nodes after round ``t``, summed over trials.
+
+        ``curve[0]`` is the initial state (one source per trial).
+        Requires the batch to have run with ``with_stats=True``.
+        """
+        return self._stats("informed_totals").copy()
+
+    def summary(self) -> dict:
+        """Headline numbers for reports (mirrors the serial traces)."""
+        return {
+            "source": self.source,
+            "n": self.n,
+            "repetitions": self.repetitions,
+            "rounds": self.num_rounds,
+            "completed": self.completed,
+            "num_completed": self.num_completed,
+        }
 
 
 def run_broadcast_batch(
@@ -143,6 +234,8 @@ def run_broadcast_batch(
     seed: SeedLike = None,
     max_rounds: int | None = None,
     check_connected: bool = True,
+    with_stats: bool = False,
+    obs=None,
 ) -> BatchBroadcastResult:
     """Run ``repetitions`` independent healthy trials in vectorized lockstep.
 
@@ -171,11 +264,18 @@ def run_broadcast_batch(
     max_rounds: per-trial round budget; defaults to
         :func:`default_round_cap`.  Trials that exhaust it are reported
         with ``inf`` completion rounds instead of raising.
+    with_stats: record per-round aggregates (transmissions, collisions,
+        informed totals) into the result.  Off by default because the
+        collision count needs extra kernel output the fast path skips;
+        an attached observer turns it on implicitly.  Per-trial results
+        are bit-for-bit identical either way.
+    obs: an :class:`~repro.obs.Observer` receiving ``batch-*`` events and
+        metrics; defaults to the ambient observer.
 
     Returns
     -------
     BatchBroadcastResult with per-trial completion rounds and informed
-    fractions.
+    fractions (plus per-round aggregates when stats were on).
     """
     n = network.n
     if not 0 <= source < n:
@@ -192,6 +292,31 @@ def run_broadcast_batch(
         max_rounds = default_round_cap(n)
     rngs = spawn_generators(seed, repetitions)
     protocol.prepare(n, p, source)
+
+    if obs is None:
+        obs = current_observer()
+    if obs is not None and not obs.active:
+        obs = None
+    collect = with_stats or obs is not None
+    tx_counts: list[int] = []
+    coll_counts: list[int] = []
+    informed_totals: list[int] = []
+    run_id = -1
+    run_t0 = 0.0
+    if obs is not None:
+        run_id = obs.next_run_id()
+        run_t0 = perf_counter()
+        obs.emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "batch-start",
+                "run": run_id,
+                "engine": "broadcast-batch",
+                "n": n,
+                "repetitions": int(repetitions),
+                "max_rounds": int(max_rounds),
+            }
+        )
 
     # Working state holds only the still-active trials; when a trial
     # completes its row is dropped (its state can never change again), so
@@ -217,12 +342,18 @@ def run_broadcast_batch(
         informed_round = informed_round[keep]
         trial_ids = trial_ids[keep]
         rngs = [rngs[r] for r in np.flatnonzero(keep)]
+    if collect:
+        # curve[0]: every trial starts with exactly its source informed.
+        informed_totals.append(int(repetitions))
 
     rounds_executed = 0
     for t in range(1, max_rounds + 1):
         if trial_ids.size == 0:
             break
         rounds_executed = t
+        if obs is not None:
+            round_t0 = perf_counter()
+            active = int(trial_ids.size)
         mask = np.asarray(
             protocol.transmit_mask_batch(t, informed.T, informed_round.T, rngs),
             dtype=bool,
@@ -234,7 +365,7 @@ def run_broadcast_batch(
         step = network.step_batch(
             rows.T,
             informed.T,
-            with_collided=False,
+            with_collided=collect,
             with_transmitters=False,
             assume_informed=True,
         )
@@ -242,6 +373,9 @@ def run_broadcast_batch(
         newly = received > informed  # received & ~informed, one pass on bools
         informed |= received
         np.copyto(informed_round, t, where=newly)
+        if collect:
+            tx_counts.append(int(np.count_nonzero(rows)))
+            coll_counts.append(int(np.count_nonzero(step.collided)))
         finished = informed.all(axis=1)
         if finished.any():
             completion[trial_ids[finished]] = float(t)
@@ -250,14 +384,61 @@ def run_broadcast_batch(
             informed_round = informed_round[keep]
             trial_ids = trial_ids[keep]
             rngs = [rngs[r] for r in np.flatnonzero(keep)]
+        if collect:
+            done_trials = repetitions - int(trial_ids.size)
+            informed_totals.append(int(informed.sum()) + done_trials * n)
+        if obs is not None:
+            wall = perf_counter() - round_t0
+            obs.inc("batch.rounds", 1, label=protocol.name)
+            obs.inc("batch.transmissions", tx_counts[-1], label=protocol.name)
+            obs.inc("batch.collisions", coll_counts[-1], label=protocol.name)
+            obs.observe("batch.round_wall_s", wall, label=protocol.name)
+            if obs.sink is not None:
+                obs.emit(
+                    {
+                        "v": SCHEMA_VERSION,
+                        "kind": "batch-round",
+                        "run": run_id,
+                        "engine": "broadcast-batch",
+                        "t": t,
+                        "active": active,
+                        "transmitters": tx_counts[-1],
+                        "collisions": coll_counts[-1],
+                        "wall_s": wall,
+                    }
+                )
 
     fractions = np.ones(repetitions)
     if trial_ids.size:
         fractions[trial_ids] = informed.sum(axis=1) / float(n)
-    return BatchBroadcastResult(
+    result = BatchBroadcastResult(
         source=source,
         n=n,
         completion_rounds=completion,
         informed_fractions=fractions,
-        rounds_executed=rounds_executed,
+        num_rounds=rounds_executed,
+        transmissions_per_round=(
+            np.asarray(tx_counts, dtype=np.int64) if collect else None
+        ),
+        collisions_per_round=(
+            np.asarray(coll_counts, dtype=np.int64) if collect else None
+        ),
+        informed_totals=(
+            np.asarray(informed_totals, dtype=np.int64) if collect else None
+        ),
     )
+    if obs is not None:
+        wall = perf_counter() - run_t0
+        obs.observe("batch.wall_s", wall, label=protocol.name)
+        obs.emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "batch-end",
+                "run": run_id,
+                "engine": "broadcast-batch",
+                "rounds": rounds_executed,
+                "num_completed": result.num_completed,
+                "wall_s": wall,
+            }
+        )
+    return result

@@ -51,6 +51,20 @@ class AgentDynamics(SingleMessageDynamics):
         self.positions = None
         self.carrying = None
 
+    @classmethod
+    def build(cls, network, *, num_agents, source: int = 0,
+              agents_start_at_source: bool = False):
+        """``simulate("agents", ...)`` — mirrors :func:`agent_broadcast`."""
+        if num_agents < 1:
+            raise InvalidParameterError(
+                f"need at least one agent, got {num_agents}"
+            )
+        if not 0 <= source < network.n:
+            raise InvalidParameterError(
+                f"source {source} out of range [0, {network.n})"
+            )
+        return cls(num_agents, source, agents_start_at_source)
+
     def default_round_cap(self, n):
         # Cover-time flavoured budget: generous multiple of n log n / k.
         logn = max(1.0, np.log(max(n, 2)))

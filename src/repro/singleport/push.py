@@ -72,6 +72,16 @@ class PushDynamics(SingleMessageDynamics):
     summary = "single-port push, point-to-point calls (Feige et al., Section 1.2)"
     pull = False
 
+    @classmethod
+    def build(cls, network, *, source: int = 0):
+        """``simulate("push"/"push-pull", ...)`` — mirrors
+        :func:`push_broadcast` / :func:`push_pull_broadcast`."""
+        if not 0 <= source < network.n:
+            raise InvalidParameterError(
+                f"source {source} out of range [0, {network.n})"
+            )
+        return cls(source)
+
     def default_round_cap(self, n):
         return default_singleport_round_cap(n)
 

@@ -1,0 +1,168 @@
+"""MetricsRegistry semantics: series, snapshots, merging, rendering."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounters:
+    def test_starts_at_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter_value("round.count") == 0.0
+
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("round.count")
+        reg.inc("round.count", 2.5)
+        assert reg.counter_value("round.count") == 3.5
+
+    def test_labels_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.inc("round.count", label="broadcast")
+        reg.inc("round.count", 5, label="gossip")
+        assert reg.counter_value("round.count", label="broadcast") == 1.0
+        assert reg.counter_value("round.count", label="gossip") == 5.0
+        assert reg.counter_value("round.count") == 0.0  # unlabeled untouched
+
+    def test_counters_view_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        view = reg.counters()
+        view[("x", "")] = 99.0
+        assert reg.counter_value("x") == 1.0
+
+
+class TestGauges:
+    def test_unset_is_none(self):
+        assert MetricsRegistry().gauge_value("jobs") is None
+
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("jobs", 2)
+        reg.set_gauge("jobs", 4)
+        assert reg.gauge_value("jobs") == 4.0
+
+
+class TestHistograms:
+    def test_unobserved_is_none(self):
+        assert MetricsRegistry().histogram("round.wall_s") is None
+
+    def test_summary_moments(self):
+        reg = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            reg.observe("round.wall_s", value)
+        hist = reg.histogram("round.wall_s")
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.mean == 2.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+
+    def test_empty_mean_is_nan(self):
+        reg = MetricsRegistry()
+        reg.observe("x", 1.0)
+        hist = reg.histogram("x")
+        from repro.obs.metrics import HistogramSummary
+
+        assert math.isnan(HistogramSummary().mean)
+        assert not math.isnan(hist.mean)
+
+    def test_buckets_are_monotone_in_value(self):
+        # Larger observations never land in lower buckets.
+        reg = MetricsRegistry()
+        values = [1e-7, 1e-4, 0.02, 0.5, 3.0, 120.0]
+        for v in values:
+            reg.observe("t", v)
+        hist = reg.histogram("t")
+        assert hist.count == len(values)
+        assert sum(hist.buckets.values()) == len(values)
+
+    def test_len_counts_all_series(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("b", 1)
+        reg.observe("c", 1.0)
+        assert len(reg) == 3
+
+    def test_empty_registry_is_truthy(self):
+        # Presence means "instrumentation on", regardless of content.
+        assert bool(MetricsRegistry())
+
+
+class TestSnapshotMerge:
+    def make_source(self):
+        reg = MetricsRegistry()
+        reg.inc("round.count", 3, label="broadcast")
+        reg.inc("round.transmissions", 40)
+        reg.set_gauge("jobs", 2)
+        reg.observe("round.wall_s", 0.5)
+        reg.observe("round.wall_s", 1.5)
+        return reg
+
+    def test_snapshot_is_picklable_plain_data(self):
+        snap = self.make_source().snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_merge_snapshot_adds_counters_and_histograms(self):
+        parent = MetricsRegistry()
+        parent.inc("round.count", 1, label="broadcast")
+        parent.observe("round.wall_s", 2.0)
+        parent.merge_snapshot(self.make_source().snapshot())
+        assert parent.counter_value("round.count", label="broadcast") == 4.0
+        assert parent.counter_value("round.transmissions") == 40.0
+        hist = parent.histogram("round.wall_s")
+        assert hist.count == 3
+        assert hist.total == 4.0
+        assert hist.max == 2.0
+
+    def test_merge_snapshot_gauges_last_write_wins(self):
+        parent = MetricsRegistry()
+        parent.set_gauge("jobs", 8)
+        parent.merge_snapshot(self.make_source().snapshot())
+        assert parent.gauge_value("jobs") == 2.0
+
+    def test_merge_registry_equals_merge_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.merge(self.make_source())
+        b.merge_snapshot(self.make_source().snapshot())
+        assert a.snapshot() == b.snapshot()
+
+    def test_version_mismatch_rejected(self):
+        snap = self.make_source().snapshot()
+        snap["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            MetricsRegistry().merge_snapshot(snap)
+
+    def test_merge_into_empty_round_trips(self):
+        source = self.make_source()
+        parent = MetricsRegistry()
+        parent.merge_snapshot(source.snapshot())
+        assert parent.snapshot() == source.snapshot()
+
+
+class TestReport:
+    def test_empty(self):
+        assert MetricsRegistry().report() == "(empty registry)"
+
+    def test_sections_and_span_grouping(self):
+        reg = MetricsRegistry()
+        reg.observe("span.experiment.E4", 0.25)
+        reg.observe("round.wall_s", 0.01)
+        reg.inc("round.count", 7)
+        reg.set_gauge("jobs", 2)
+        text = reg.report()
+        assert "-- spans" in text
+        assert "-- histograms" in text
+        assert "-- counters" in text
+        assert "-- gauges" in text
+        assert "span.experiment.E4" in text
+        # Spans render before the other histogram series.
+        assert text.index("span.experiment.E4") < text.index("round.wall_s")
+
+    def test_labeled_series_rendering(self):
+        reg = MetricsRegistry()
+        reg.inc("round.count", 3, label="broadcast")
+        assert "round.count{broadcast}" in reg.report()

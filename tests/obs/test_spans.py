@@ -1,0 +1,109 @@
+"""Span timing contexts and the ambient-observer mechanism."""
+
+from repro.obs import (
+    MetricsRegistry,
+    Observer,
+    current_observer,
+    maybe_span,
+    use_observer,
+)
+from repro.obs.spans import NULL_SPAN, NullSpan, Span
+
+
+class TestSpan:
+    def test_records_into_span_series(self):
+        reg = MetricsRegistry()
+        with Span(reg, "sweep.task", "E4") as span:
+            pass
+        assert span.elapsed is not None and span.elapsed >= 0.0
+        hist = reg.histogram("span.sweep.task", label="E4")
+        assert hist is not None
+        assert hist.count == 1
+        assert hist.total == span.elapsed
+
+    def test_records_even_when_body_raises(self):
+        reg = MetricsRegistry()
+        try:
+            with Span(reg, "boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert reg.histogram("span.boom").count == 1
+
+    def test_null_span_is_shared_noop(self):
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+        assert isinstance(NULL_SPAN, NullSpan)
+
+
+class TestAmbientObserver:
+    def test_default_is_none(self):
+        assert current_observer() is None
+
+    def test_use_observer_installs_and_restores(self):
+        obs = Observer(MetricsRegistry())
+        with use_observer(obs):
+            assert current_observer() is obs
+            inner = Observer(MetricsRegistry())
+            with use_observer(inner):
+                assert current_observer() is inner
+            assert current_observer() is obs
+        assert current_observer() is None
+
+    def test_use_observer_none_shields_scope(self):
+        obs = Observer(MetricsRegistry())
+        with use_observer(obs):
+            with use_observer(None):
+                assert current_observer() is None
+            assert current_observer() is obs
+
+    def test_maybe_span_without_observer_is_noop(self):
+        assert maybe_span("anything") is NULL_SPAN
+
+    def test_maybe_span_without_registry_is_noop(self):
+        from repro.obs import MemoryTraceSink
+
+        with use_observer(Observer(sink=MemoryTraceSink())):
+            assert maybe_span("anything") is NULL_SPAN
+
+    def test_maybe_span_records_on_ambient_registry(self):
+        reg = MetricsRegistry()
+        with use_observer(Observer(reg)):
+            with maybe_span("sweep.task", label="E4"):
+                pass
+        assert reg.histogram("span.sweep.task", label="E4").count == 1
+
+
+class TestObserverForwarding:
+    def test_inactive_without_parts(self):
+        obs = Observer()
+        assert obs.active is False
+        assert Observer(MetricsRegistry()).active is True
+
+    def test_inc_observe_span_without_registry_are_noops(self):
+        obs = Observer()
+        obs.inc("x")
+        obs.observe("y", 1.0)
+        assert obs.span("z") is NULL_SPAN
+
+    def test_span_times_into_registry(self):
+        reg = MetricsRegistry()
+        obs = Observer(reg)
+        with obs.span("sweep.task", label="E7"):
+            pass
+        assert reg.histogram("span.sweep.task", label="E7").count == 1
+
+    def test_emit_applies_tags_without_mutating(self):
+        from repro.obs import MemoryTraceSink
+
+        sink = MemoryTraceSink()
+        obs = Observer(sink=sink, tags={"task": "E4"})
+        event = {"v": 1, "kind": "round"}
+        obs.emit(event)
+        assert sink.events[0]["task"] == "E4"
+        assert "task" not in event  # original untouched
+
+    def test_run_ids_are_fresh(self):
+        obs = Observer(MetricsRegistry())
+        assert obs.next_run_id() == 0
+        assert obs.next_run_id() == 1

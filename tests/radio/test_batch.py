@@ -116,7 +116,7 @@ class TestBatchEngineEdges:
         proto = UniformProtocol(1.0)
         res = run_broadcast_batch(net, proto, repetitions=5, seed=1)
         assert np.array_equal(res.completion_rounds, np.ones(5))
-        assert res.rounds_executed == 1
+        assert res.num_rounds == 1
         assert np.array_equal(res.informed_fractions, np.ones(5))
 
     def test_single_node_completes_round_zero(self):
@@ -124,7 +124,7 @@ class TestBatchEngineEdges:
         proto = UniformProtocol(1.0)
         res = run_broadcast_batch(net, proto, repetitions=3, seed=1)
         assert np.array_equal(res.completion_rounds, np.zeros(3))
-        assert res.rounds_executed == 0
+        assert res.num_rounds == 0
 
     def test_round_cap_reports_inf(self):
         # 4-cycle with always-transmit: the antipodal node's two parents
@@ -133,7 +133,7 @@ class TestBatchEngineEdges:
         proto = UniformProtocol(1.0)
         res = run_broadcast_batch(net, proto, repetitions=4, seed=2, max_rounds=10)
         assert np.all(np.isinf(res.completion_rounds))
-        assert res.rounds_executed == 10
+        assert res.num_rounds == 10
         assert res.num_completed == 0
         assert np.array_equal(res.informed_fractions, np.full(4, 0.75))
 

@@ -73,6 +73,12 @@ SUBMODULES = [
     "repro.theory",
     "repro.experiments",
     "repro.cli",
+    "repro.api",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.spans",
+    "repro.obs.sinks",
+    "repro.obs.context",
 ]
 
 
@@ -86,6 +92,127 @@ class TestSubmodules:
         mod = importlib.import_module(module_name)
         for name in getattr(mod, "__all__", []):
             assert hasattr(mod, name), f"{module_name}.__all__ lists missing {name}"
+
+
+class TestSimulate:
+    """simulate() must reproduce each legacy entry point bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def net(self):
+        from repro import RadioNetwork, gnp_connected
+
+        return RadioNetwork(gnp_connected(40, 0.25, seed=5))
+
+    @pytest.fixture(scope="class")
+    def protocol(self):
+        from repro import UniformProtocol
+
+        return UniformProtocol(0.25)
+
+    def test_available_dynamics_names(self):
+        names = set(repro.available_dynamics())
+        assert names == {
+            "broadcast",
+            "gossip",
+            "multimessage",
+            "push",
+            "push-pull",
+            "agents",
+        }
+
+    def test_broadcast_matches_legacy(self, net, protocol):
+        legacy = repro.simulate_broadcast(net, protocol, seed=11)
+        unified = repro.simulate("broadcast", net, protocol=protocol, seed=11)
+        assert unified.records == legacy.records
+        assert isinstance(unified, repro.SimulationResult)
+
+    def test_gossip_matches_legacy(self, net, protocol):
+        from repro.gossip import simulate_gossip
+
+        legacy = simulate_gossip(net, protocol, seed=11)
+        unified = repro.simulate("gossip", net, protocol=protocol, seed=11)
+        assert unified.records == legacy.records
+
+    def test_multimessage_matches_legacy(self, net, protocol):
+        from repro.gossip import simulate_multimessage
+
+        legacy = simulate_multimessage(net, protocol, [0, 1, 2], seed=11)
+        unified = repro.simulate(
+            "multimessage", net, protocol=protocol, sources=[0, 1, 2], seed=11
+        )
+        assert unified.records == legacy.records
+
+    def test_push_variants_match_legacy(self, net):
+        from repro.singleport import push_broadcast, push_pull_broadcast
+
+        for name, legacy_fn in (
+            ("push", push_broadcast),
+            ("push-pull", push_pull_broadcast),
+        ):
+            legacy = legacy_fn(net.adj, seed=11)
+            unified = repro.simulate(name, net.adj, seed=11)
+            assert unified.records == legacy.records, name
+
+    def test_agents_matches_legacy(self, net):
+        from repro.singleport import agent_broadcast
+
+        legacy = agent_broadcast(net.adj, 8, seed=11)
+        unified = repro.simulate("agents", net.adj, num_agents=8, seed=11)
+        assert unified.records == legacy.records
+
+    def test_graph_params_mapping(self, protocol):
+        # {"n", "p", "seed"} samples the same connected G(n, p) the
+        # explicit construction does.
+        from repro import RadioNetwork, gnp_connected
+
+        explicit = repro.simulate(
+            "broadcast",
+            RadioNetwork(gnp_connected(40, 0.25, seed=5)),
+            protocol=protocol,
+            seed=11,
+        )
+        implicit = repro.simulate(
+            "broadcast",
+            {"n": 40, "p": 0.25, "seed": 5},
+            protocol=protocol,
+            seed=11,
+        )
+        assert implicit.records == explicit.records
+
+    def test_unknown_process_rejected(self, net):
+        from repro import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="registered"):
+            repro.simulate("flooding", net)
+
+    def test_bad_graph_params_rejected(self, protocol):
+        from repro import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="missing"):
+            repro.simulate("broadcast", {"n": 10}, protocol=protocol)
+        with pytest.raises(InvalidParameterError, match="unknown graph"):
+            repro.simulate(
+                "broadcast", {"n": 10, "p": 0.5, "m": 3}, protocol=protocol
+            )
+
+    def test_instance_process_rejects_extra_kwargs(self, net, protocol):
+        from repro import InvalidParameterError
+        from repro.radio.dynamics import BroadcastDynamics
+
+        dynamics = BroadcastDynamics.build(net, protocol=protocol)
+        with pytest.raises(InvalidParameterError, match="already-constructed"):
+            repro.simulate(dynamics, net, protocol=protocol)
+
+    def test_explicit_observer_sees_the_run(self, net, protocol):
+        from repro import MemoryTraceSink, Observer
+
+        obs = Observer(sink=MemoryTraceSink())
+        trace = repro.simulate(
+            "broadcast", net, protocol=protocol, seed=11, obs=obs
+        )
+        kinds = [event["kind"] for event in obs.sink.events]
+        assert kinds[0] == "run-start" and kinds[-1] == "run-end"
+        assert kinds.count("round") == trace.num_rounds
 
 
 class TestDocstringCoverage:

@@ -110,3 +110,74 @@ class TestRunOut:
         result = load_result(out_file)
         assert result.experiment_id == "E7"
         assert "saved to" in capsys.readouterr().out
+
+
+class TestSharedParents:
+    """The shared flags must parse identically on every subcommand."""
+
+    @pytest.mark.parametrize("command", [["run", "E4"], ["run-all"], ["profile", "E4"]])
+    def test_seed_and_sweep_flags(self, command):
+        args = build_parser().parse_args(
+            command + ["--seed", "7", "--jobs", "3", "--checkpoint", "ckpt"]
+        )
+        assert args.seed == 7
+        assert args.jobs == 3
+        assert args.checkpoint == "ckpt"
+        assert args.resume is False
+
+    @pytest.mark.parametrize("command", [["run", "E4"], ["run-all"], ["profile", "E4"]])
+    def test_trace_out_flag(self, command):
+        assert build_parser().parse_args(command).trace_out is None
+        args = build_parser().parse_args(command + ["--trace-out", "t.jsonl"])
+        assert args.trace_out == "t.jsonl"
+
+    def test_dynamics_only_flag(self):
+        args = build_parser().parse_args(["dynamics", "--only", "push,gossip"])
+        assert args.only == "push,gossip"
+
+
+class TestDynamicsOnly:
+    def test_filters_to_subset(self, capsys):
+        assert main(["dynamics", "--only", "push,gossip"]) == 0
+        out = capsys.readouterr().out
+        assert "push" in out and "gossip" in out
+        assert "broadcast" not in out
+
+    def test_unknown_name_fails(self, capsys):
+        assert main(["dynamics", "--only", "flooding"]) == 2
+        assert "unknown dynamics: flooding" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_profile_prints_span_breakdown(self, capsys):
+        assert main(["profile", "E7", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "[E7]" in out and "profile" in out
+        assert "-- spans" in out
+        assert "span.experiment.E7" in out
+
+    def test_profile_rejects_bad_jobs(self, capsys):
+        assert main(["profile", "E7", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+
+class TestTraceOut:
+    def test_run_streams_schema_valid_events(self, tmp_path, capsys):
+        from repro.obs.sinks import read_jsonl_events, validate_event
+
+        path = tmp_path / "e4.jsonl"
+        assert main(["run", "E4", "--trace-out", str(path)]) == 0
+        err = capsys.readouterr().err
+        assert f"trace events written to {path}" in err
+        events = list(read_jsonl_events(str(path)))
+        assert events
+        for event in events:
+            validate_event(event)
+        assert {event["kind"] for event in events} <= {
+            "batch-start",
+            "batch-round",
+            "batch-end",
+            "run-start",
+            "round",
+            "run-end",
+        }
