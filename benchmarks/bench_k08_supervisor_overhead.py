@@ -1,0 +1,227 @@
+"""K8 — engineering: supervised-executor healthy-path overhead.
+
+The supervision layer (:mod:`repro.experiments.supervisor`) wraps the
+parallel sweep's ``ProcessPoolExecutor`` with deadlines, crash recovery
+and structured outcomes.  Its design target is that the *healthy path*
+— no crashes, no timeouts, no retries — costs < 2% over driving a raw
+pool directly: supervision replaces unbounded ``future.result()`` calls
+with a ``wait``-loop and some dict bookkeeping, none of which should be
+visible next to real task work.
+
+``measure_pool_overhead`` times the same task list three ways — raw
+``ProcessPoolExecutor`` (the unsupervised floor), supervised fan-out,
+and supervised fan-out with a deadline armed (the wait-loop's timeout
+arithmetic on every iteration) — using identical spawned seed children
+so the comparison is work-for-work.  ``measure_serial_overhead`` does
+the same for ``jobs=1``, where supervision is a plain in-process loop.
+
+The pytest entry point asserts a CI-noise-tolerant bound (pool startup
+and scheduler jitter dominate at the ~100 ms scale of a quick run) and
+*reports* the 2% target; the script mode emits the ``BENCH_exec.json``
+artifact CI uploads::
+
+    PYTHONPATH=src python benchmarks/bench_k08_supervisor_overhead.py \\
+        --quick --out BENCH_exec.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from statistics import median
+
+import numpy as np
+
+from repro.experiments.supervisor import SweepTask, run_supervised_sweep
+from repro.rng import spawn_seeds
+
+#: Draws per task: tens of ms of numpy RNG work, big enough that per-task
+#: executor bookkeeping is measured against real work, small enough for CI.
+TASK_DRAWS = 1_000_000
+
+
+def busy_task(seed, *, draws: int = TASK_DRAWS, rounds: int = 4) -> float:
+    """CPU-bound work with a scalar payload.
+
+    The result must stay tiny — the benchmark measures executor
+    bookkeeping, and a large return value would bury it under
+    result-pickling and IPC transfer costs.
+    """
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    for _ in range(rounds):
+        total += float(rng.random(draws).sum())
+    return total
+
+
+def make_tasks(count: int, draws: int = TASK_DRAWS) -> list[SweepTask]:
+    return [
+        SweepTask(key=f"t{i}", fn=busy_task, kwargs={"draws": draws})
+        for i in range(count)
+    ]
+
+
+def run_raw_pool(tasks, *, jobs: int, seed) -> list:
+    """The unsupervised floor: submit everything, collect in order."""
+    children = spawn_seeds(seed, len(tasks))
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(task.fn, seed=child, **task.kwargs)
+            for task, child in zip(tasks, children)
+        ]
+        return [future.result() for future in futures]
+
+
+def _time(fn, loops: int) -> float:
+    samples = []
+    for _ in range(loops):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return median(samples)
+
+
+def measure_pool_overhead(
+    num_tasks: int, jobs: int, loops: int = 3, draws: int = TASK_DRAWS
+) -> dict:
+    """Raw pool vs supervised vs supervised-with-deadline, same work."""
+    tasks = make_tasks(num_tasks, draws)
+
+    def raw():
+        run_raw_pool(tasks, jobs=jobs, seed=42)
+
+    def supervised():
+        run_supervised_sweep(tasks, jobs=jobs, seed=42)
+
+    def supervised_deadline():
+        # A generous deadline that never fires: measures the wait-loop's
+        # per-iteration timeout arithmetic, not any recovery.
+        run_supervised_sweep(tasks, jobs=jobs, seed=42, task_timeout=600.0)
+
+    t_raw = _time(raw, loops)
+    t_sup = _time(supervised, loops)
+    t_dead = _time(supervised_deadline, loops)
+    return {
+        "num_tasks": num_tasks,
+        "jobs": jobs,
+        "raw_pool_seconds": t_raw,
+        "supervised_seconds": t_sup,
+        "supervised_deadline_seconds": t_dead,
+        "supervised_overhead_pct": 100.0 * (t_sup / t_raw - 1.0),
+        "deadline_overhead_pct": 100.0 * (t_dead / t_raw - 1.0),
+    }
+
+
+def measure_serial_overhead(
+    num_tasks: int, loops: int = 3, draws: int = TASK_DRAWS
+) -> dict:
+    """jobs=1: supervised in-process loop vs calling the tasks directly."""
+    tasks = make_tasks(num_tasks, draws)
+
+    def direct():
+        for task, child in zip(tasks, spawn_seeds(42, len(tasks))):
+            task.fn(seed=child, **task.kwargs)
+
+    def supervised():
+        run_supervised_sweep(tasks, jobs=1, seed=42)
+
+    t_direct = _time(direct, loops)
+    t_sup = _time(supervised, loops)
+    return {
+        "num_tasks": num_tasks,
+        "direct_seconds": t_direct,
+        "supervised_seconds": t_sup,
+        "supervised_overhead_pct": 100.0 * (t_sup / t_direct - 1.0),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+def test_k08_supervised_matches_raw_pool_results():
+    tasks = make_tasks(4, draws=1000)
+    raw = run_raw_pool(tasks, jobs=2, seed=7)
+    outcomes = run_supervised_sweep(tasks, jobs=2, seed=7)
+    assert [o.result for o in outcomes] == raw
+
+
+def test_k08_healthy_path_overhead_bounded():
+    stats = measure_pool_overhead(8, jobs=2, loops=2)
+    print(
+        f"\nsupervised fan-out: raw={stats['raw_pool_seconds'] * 1e3:.0f} ms, "
+        f"supervised +{stats['supervised_overhead_pct']:.2f}% "
+        f"(+deadline {stats['deadline_overhead_pct']:.2f}%) "
+        f"-- design target < 2%"
+    )
+    # The 2% target is checked on quiet hardware via the BENCH_exec
+    # artifact; CI shares cores, so the hard assertion is noise-tolerant.
+    assert stats["supervised_seconds"] < 1.5 * stats["raw_pool_seconds"]
+
+
+def test_k08_serial_supervision_overhead_bounded():
+    stats = measure_serial_overhead(6, loops=2)
+    print(
+        f"\nserial supervision: direct={stats['direct_seconds'] * 1e3:.0f} ms, "
+        f"supervised +{stats['supervised_overhead_pct']:.2f}%"
+    )
+    assert stats["supervised_seconds"] < 1.5 * stats["direct_seconds"]
+
+
+# ----------------------------------------------------------------------
+# Script mode: emit the CI executor-overhead artifact
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="supervised executor bench")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer tasks and loops (CI budget)",
+    )
+    parser.add_argument("--out", default=None, help="write JSON results to this path")
+    args = parser.parse_args(argv)
+
+    loops = 2 if args.quick else 3
+    task_counts = (8,) if args.quick else (8, 32)
+    jobs_options = (2,) if args.quick else (2, 4)
+
+    pooled = [
+        measure_pool_overhead(count, jobs, loops)
+        for count in task_counts
+        for jobs in jobs_options
+    ]
+    serial = [measure_serial_overhead(6 if args.quick else 16, loops)]
+    payload = {
+        "benchmark": "k08_supervisor_overhead",
+        "mode": "quick" if args.quick else "full",
+        "target_overhead_pct": 2.0,
+        "pooled": pooled,
+        "serial": serial,
+    }
+    for row in pooled:
+        print(
+            f"tasks={row['num_tasks']:>3} jobs={row['jobs']}  raw "
+            f"{row['raw_pool_seconds'] * 1e3:>7,.1f} ms  supervised "
+            f"+{row['supervised_overhead_pct']:.2f}%  with-deadline "
+            f"+{row['deadline_overhead_pct']:.2f}%"
+        )
+    for row in serial:
+        print(
+            f"tasks={row['num_tasks']:>3} serial  direct "
+            f"{row['direct_seconds'] * 1e3:>7,.1f} ms  supervised "
+            f"+{row['supervised_overhead_pct']:.2f}%"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

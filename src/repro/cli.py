@@ -11,10 +11,16 @@ Usage::
     python -m repro run-all --quick --out results.md
     python -m repro profile E7 --seed 3
 
-Flags shared across subcommands (``--seed``, ``--jobs``, ``--checkpoint``,
+Flags shared across subcommands (``--seed``, ``--jobs``,
+``--task-timeout``, ``--max-task-retries``, ``--checkpoint``,
 ``--resume``, ``--trace-out``, ``--full``, ``--markdown``, ``--only``) are
 declared once on parent parsers, so their defaults and help text cannot
-drift between ``run``, ``run-all`` and ``profile``.
+drift between ``run``, ``run-all`` and ``profile``.  ``--jobs`` routes
+through the supervised executor (``repro.experiments.supervisor``):
+worker crashes are retried on the experiment's original child seed,
+hung experiments expire against ``--task-timeout``, and ``run-all``
+prints a per-task outcome summary instead of dying on a poisoned
+experiment.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import sys
 import time
 from contextlib import nullcontext
 
+from .errors import SweepTaskError
 from .experiments import EXPERIMENTS, get_experiment, run_experiment
 from .obs import JsonlTraceSink, MetricsRegistry, Observer, use_observer
 
@@ -78,12 +85,37 @@ def _sweep_parent() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help=(
-            "run experiments through the parallel sweep executor with N "
-            "worker processes; each experiment gets an independent child "
-            "seed spawned from --seed, so the tables depend on --seed but "
-            "not on N (--jobs 1 and --jobs 4 are byte-identical).  "
-            "Omitting --jobs keeps the legacy sequential path, which "
-            "reuses --seed verbatim for every experiment"
+            "run experiments through the supervised parallel sweep executor "
+            "with N worker processes; each experiment gets an independent "
+            "child seed spawned from --seed, so the tables depend on --seed "
+            "but not on N (--jobs 1 and --jobs 4 are byte-identical, even "
+            "across worker-crash recovery).  Omitting --jobs keeps the "
+            "legacy sequential path, which reuses --seed verbatim for "
+            "every experiment"
+        ),
+    )
+    parent.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-experiment wall-clock deadline on the supervised executor "
+            "(--jobs); an expired experiment is recorded as a timeout "
+            "outcome without stalling or aborting its siblings"
+        ),
+    )
+    parent.add_argument(
+        "--max-task-retries",
+        type=int,
+        default=2,
+        metavar="K",
+        help=(
+            "re-submissions the supervised executor (--jobs) allows an "
+            "experiment whose worker crashed or raised before recording a "
+            "crashed/error outcome (default: 2); retries reuse the "
+            "experiment's original child seed, so recovery never changes "
+            "the tables"
         ),
     )
     return parent
@@ -197,7 +229,7 @@ def _finish_observer(obs: Observer | None, trace_out: str | None) -> None:
 
 
 def _run_one(spec, args):
-    """Dispatch one experiment through the sequential or parallel path."""
+    """Dispatch one experiment through the sequential or supervised path."""
     if args.jobs is not None:
         from .experiments import run_catalog_parallel
 
@@ -208,6 +240,8 @@ def _run_one(spec, args):
             jobs=args.jobs,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            task_timeout=args.task_timeout,
+            max_task_retries=args.max_task_retries,
         )[0]
     return run_experiment(
         spec.experiment_id,
@@ -280,8 +314,16 @@ def main(argv: list[str] | None = None) -> int:
             )
         obs = _make_observer(args)
         start = time.perf_counter()
-        with _observed(obs):
-            result = _run_one(spec, args)
+        try:
+            with _observed(obs):
+                result = _run_one(spec, args)
+        except SweepTaskError as exc:
+            # Crash/timeout outcomes have no original exception to
+            # re-raise; report the structured outcome instead of a
+            # supervisor traceback.
+            _finish_observer(obs, args.trace_out)
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         elapsed = time.perf_counter() - start
         _finish_observer(obs, args.trace_out)
         print(_render(result, args.markdown))
@@ -306,26 +348,41 @@ def main(argv: list[str] | None = None) -> int:
             specs = list(EXPERIMENTS.values())
         obs = _make_observer(args)
         chunks = []
+        failed = 0
         if args.jobs is not None:
-            from .experiments import run_catalog_parallel
+            from .experiments import outcomes_table, run_catalog_supervised
 
             start = time.perf_counter()
             with _observed(obs):
-                results = run_catalog_parallel(
+                outcomes = run_catalog_supervised(
                     [spec.experiment_id for spec in specs],
                     quick=not args.full,
                     seed=args.seed,
                     jobs=args.jobs,
                     checkpoint=args.checkpoint,
                     resume=args.resume,
+                    task_timeout=args.task_timeout,
+                    max_task_retries=args.max_task_retries,
                 )
             elapsed = time.perf_counter() - start
-            for result in results:
-                chunk = _render(result, args.markdown)
-                print(chunk)
-                print()
-                chunks.append(chunk)
-            print(f"({len(results)} experiments, --jobs {args.jobs}, {elapsed:.1f}s)")
+            # A poisoned experiment is reported and skipped, not fatal:
+            # the healthy tables print, the summary names the casualty.
+            for outcome in outcomes:
+                if outcome.ok:
+                    chunk = _render(outcome.result, args.markdown)
+                    print(chunk)
+                    print()
+                    chunks.append(chunk)
+                else:
+                    failed += 1
+            print(outcomes_table(outcomes))
+            print(f"({len(outcomes)} experiments, --jobs {args.jobs}, {elapsed:.1f}s)")
+            if failed:
+                print(
+                    f"{failed} experiment(s) did not complete; see the "
+                    "summary table above",
+                    file=sys.stderr,
+                )
         else:
             with _observed(obs):
                 for spec in specs:
@@ -346,7 +403,7 @@ def main(argv: list[str] | None = None) -> int:
             with open(args.out, "w") as fh:
                 fh.write("\n\n".join(chunks) + "\n")
             print(f"report written to {args.out}")
-        return 0
+        return 1 if failed else 0
 
     if args.command == "profile":
         if args.resume and not args.checkpoint:

@@ -15,6 +15,8 @@ __all__ = [
     "ScheduleError",
     "SimulationError",
     "BroadcastIncompleteError",
+    "ExecutorError",
+    "SweepTaskError",
 ]
 
 
@@ -56,3 +58,22 @@ class BroadcastIncompleteError(SimulationError):
     def __init__(self, message: str, trace=None):
         super().__init__(message)
         self.trace = trace
+
+
+class ExecutorError(ReproError):
+    """The supervised parallel executor could not complete a sweep."""
+
+
+class SweepTaskError(ExecutorError):
+    """A sweep task ended in a non-``ok`` terminal outcome.
+
+    Raised by the legacy result-unwrapping entry points
+    (:func:`~repro.experiments.parallel.run_parallel_sweep`) when a task
+    crashed its worker or exceeded its deadline — failure modes that
+    leave no original exception to re-raise.  Carries the structured
+    :class:`~repro.experiments.supervisor.TaskOutcome`.
+    """
+
+    def __init__(self, message: str, outcome=None):
+        super().__init__(message)
+        self.outcome = outcome

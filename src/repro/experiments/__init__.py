@@ -23,7 +23,12 @@ depend on the worker count (``repro run-all --jobs N``).
 """
 
 from .catalog import EXPERIMENTS, get_experiment, run_experiment
-from .parallel import SweepTask, run_catalog_parallel, run_parallel_sweep
+from .parallel import (
+    SweepTask,
+    run_catalog_parallel,
+    run_catalog_supervised,
+    run_parallel_sweep,
+)
 from .report import format_markdown_table, format_table
 from .resilient import (
     SweepCheckpoint,
@@ -32,7 +37,13 @@ from .resilient import (
     TrialRecord,
     run_resilient_sweep,
 )
-from .runner import ExperimentResult, aggregate
+from .runner import ExperimentResult, aggregate, outcomes_table
+from .supervisor import (
+    SweepTaskCheckpoint,
+    TaskOutcome,
+    outcome_counts,
+    run_supervised_sweep,
+)
 
 __all__ = [
     "EXPERIMENTS",
@@ -40,6 +51,7 @@ __all__ = [
     "run_experiment",
     "ExperimentResult",
     "aggregate",
+    "outcomes_table",
     "format_table",
     "format_markdown_table",
     "run_resilient_sweep",
@@ -48,6 +60,11 @@ __all__ = [
     "TrialRecord",
     "TrialOutcome",
     "SweepTask",
+    "TaskOutcome",
+    "SweepTaskCheckpoint",
+    "outcome_counts",
     "run_parallel_sweep",
+    "run_supervised_sweep",
     "run_catalog_parallel",
+    "run_catalog_supervised",
 ]

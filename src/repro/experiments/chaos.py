@@ -1,0 +1,124 @@
+"""Deterministic chaos harness for the supervised executor.
+
+The supervisor (:mod:`repro.experiments.supervisor`) promises recovery
+from worker crashes, hung tasks and transient errors.  Promises about
+fault handling are only worth what their tests inject, so this module
+provides *deterministic* fault injection for sweep tasks: a task that
+``os._exit``'s the worker on its first *k* attempts, raises on the next
+*m*, sleeps past any deadline on the next *h* — and then succeeds with a
+payload that depends only on its seed, so a chaos-ridden sweep can be
+compared byte-for-byte against an unfaulted one.
+
+Attempt counting must survive process death (each retry runs in a fresh
+worker), so attempts are tracked in per-key counter files under a caller
+-provided ``state_dir``.  The supervisor never runs two attempts of one
+task concurrently, so plain read-increment-replace is race-free.
+
+Everything here is module-level and picklable — tasks fan out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  The harness ships in
+the package (not the test tree) so benchmarks and downstream users can
+chaos-test their own sweeps; ``tests/experiments/test_supervisor.py``
+covers both the harness and the recovery paths it drives.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ChaosError",
+    "attempt_count",
+    "chaos_payload",
+    "chaos_task",
+    "healthy_task",
+]
+
+#: Exit status used by injected worker crashes (visible in worker logs).
+CRASH_EXIT_CODE = 71
+
+
+class ChaosError(RuntimeError):
+    """The injected (deterministic) task failure."""
+
+
+def _counter_path(state_dir: str | Path, key: str) -> Path:
+    return Path(state_dir) / f"{key}.attempts"
+
+
+def attempt_count(state_dir: str | Path, key: str) -> int:
+    """Attempts recorded so far for ``key`` (0 before the first call)."""
+    path = _counter_path(state_dir, key)
+    if not path.exists():
+        return 0
+    return int(path.read_text())
+
+
+def _next_attempt(state_dir: str | Path, key: str) -> int:
+    """Increment and return the 1-based attempt number for ``key``.
+
+    The write is atomic (tmp + replace) so a crash *after* the bump —
+    which is exactly what ``crash_attempts`` injects — never corrupts
+    the counter.
+    """
+    path = _counter_path(state_dir, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    attempt = attempt_count(state_dir, key) + 1
+    tmp = path.with_suffix(".attempts.tmp")
+    tmp.write_text(str(attempt))
+    tmp.replace(path)
+    return attempt
+
+
+def chaos_payload(seed, draws: int = 4) -> list[float]:
+    """The success payload: a pure function of ``seed``.
+
+    Identical across attempts and processes, which is what lets the
+    chaos tests pin byte-identity between faulted and unfaulted sweeps.
+    """
+    return [float(x) for x in np.random.default_rng(seed).random(draws)]
+
+
+def healthy_task(seed, *, draws: int = 4) -> list[float]:
+    """A fault-free sweep task — the unfaulted comparator."""
+    return chaos_payload(seed, draws)
+
+
+def chaos_task(
+    seed,
+    *,
+    key: str,
+    state_dir: str | Path,
+    crash_attempts: int = 0,
+    error_attempts: int = 0,
+    hang_attempts: int = 0,
+    hang_seconds: float = 3600.0,
+    draws: int = 4,
+) -> list[float]:
+    """A sweep task with a deterministic per-attempt fault schedule.
+
+    Attempt ``a`` (1-based, tracked in ``state_dir``) behaves as:
+
+    * ``a <= crash_attempts`` — ``os._exit(CRASH_EXIT_CODE)``: the worker
+      process dies without unwinding, breaking the pool;
+    * next ``error_attempts`` attempts — raise :class:`ChaosError`;
+    * next ``hang_attempts`` attempts — sleep ``hang_seconds`` (a
+      straggler: past any reasonable deadline, but it *would* eventually
+      return the payload if nothing killed it);
+    * afterwards — return :func:`chaos_payload(seed, draws)
+      <chaos_payload>`.
+
+    With all injection counts zero this is exactly :func:`healthy_task`.
+    """
+    attempt = _next_attempt(state_dir, key)
+    if attempt <= crash_attempts:
+        os._exit(CRASH_EXIT_CODE)
+    if attempt <= crash_attempts + error_attempts:
+        raise ChaosError(f"injected failure: task {key!r} attempt {attempt}")
+    if attempt <= crash_attempts + error_attempts + hang_attempts:
+        time.sleep(hang_seconds)
+    return chaos_payload(seed, draws)

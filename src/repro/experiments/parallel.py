@@ -8,93 +8,73 @@ compute:
 * **stateless seed derivation** — every config receives a child of the
   root ``SeedSequence`` (``spawn_seeds(seed, len(tasks))``), derived
   *before* any work is scheduled.  The derivation depends only on the
-  root seed and the config's position, never on worker scheduling, so
+  root seed and the config's position, never on worker scheduling — or
+  on how many crash-recovery retries the supervisor needed — so
   ``jobs=1`` and ``jobs=N`` produce byte-identical results;
-* **in-process fast path** — ``jobs=1`` runs the tasks serially in the
-  calling process through exactly the same derivation, which is what the
-  equivalence guarantee is pinned against
-  (``tests/experiments/test_parallel.py``);
+* **supervised execution** — the pool work is driven by
+  :mod:`repro.experiments.supervisor`: per-task wall-clock deadlines,
+  bounded retry on worker crashes (each retry reuses the task's
+  original child seed), pool rebuilds, and graceful degradation to
+  serial in-process execution.  :func:`run_supervised_sweep` surfaces
+  the structured :class:`~repro.experiments.supervisor.TaskOutcome`
+  records; :func:`run_parallel_sweep` is the legacy result-unwrapping
+  view that raises on the first failed task;
 * **checkpoint composition** — tasks may themselves be
   :func:`~repro.experiments.resilient.run_resilient_sweep` calls: each
   child ``SeedSequence`` carries a distinct ``spawn_key``, which the
   resilient engine's per-(trial, attempt) derivation preserves, so two
   parallel sweep configs never collide on trial streams even though all
-  children share the root's entropy.
+  children share the root's entropy.  On top of that, a sweep-level
+  :class:`~repro.experiments.supervisor.SweepTaskCheckpoint` lets an
+  interrupted ``run-all --jobs N`` resume past completed experiments.
 
 ``repro run-all --jobs N`` (and ``repro run --jobs N``) route through
-:func:`run_catalog_parallel`.
+:func:`run_catalog_supervised`.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from pathlib import Path
+from typing import Any, Sequence
 
 import numpy as np
 
 from .._typing import SeedLike
-from ..errors import InvalidParameterError
-from ..obs import (
-    MemoryTraceSink,
-    MetricsRegistry,
-    Observer,
-    current_observer,
-    maybe_span,
-    use_observer,
-)
-from ..rng import spawn_seeds
+from ..errors import SweepTaskError
 from .catalog import get_experiment
 from .runner import ExperimentResult
+from .supervisor import (
+    SweepTask,
+    SweepTaskCheckpoint,
+    TaskOutcome,
+    run_supervised_sweep,
+)
 
-__all__ = ["SweepTask", "run_parallel_sweep", "run_catalog_parallel", "child_seed_int"]
-
-
-@dataclass(frozen=True)
-class SweepTask:
-    """One independent unit of sweep work.
-
-    ``fn`` must be picklable (a module-level callable) when the sweep
-    runs with ``jobs > 1``; it is invoked as ``fn(seed=child, **kwargs)``
-    where ``child`` is the task's spawned :class:`~numpy.random.SeedSequence`.
-    """
-
-    key: str
-    fn: Callable[..., Any]
-    kwargs: dict = field(default_factory=dict)
-
-
-def _call_task(task: SweepTask, child: np.random.SeedSequence) -> Any:
-    """Module-level trampoline so tasks pickle into worker processes."""
-    return task.fn(seed=child, **task.kwargs)
+__all__ = [
+    "SweepTask",
+    "run_parallel_sweep",
+    "run_supervised_sweep",
+    "run_catalog_parallel",
+    "run_catalog_supervised",
+    "child_seed_int",
+]
 
 
-def _call_task_observed(task: SweepTask, child: np.random.SeedSequence):
-    """Worker-side trampoline that records observability locally.
-
-    Runs in the worker process when the *parent* sweep has an observer
-    attached.  The worker installs a fresh registry and in-memory sink
-    (observers themselves do not cross process boundaries — sinks hold
-    file handles), tags events with the task key, and ships back
-    ``(result, registry_snapshot, events)`` for the parent to merge in
-    deterministic task order.
-    """
-    registry = MetricsRegistry()
-    sink = MemoryTraceSink()
-    worker_obs = Observer(registry, sink, tags={"task": task.key})
-    with use_observer(worker_obs):
-        with worker_obs.span("sweep.task", label=task.key):
-            result = task.fn(seed=child, **task.kwargs)
-    return result, registry.snapshot(), sink.events
-
-
-def _merge_worker_observations(obs: Observer, snapshot: dict, events: list) -> None:
-    """Fold one worker's registry snapshot and buffered events into ``obs``."""
-    if obs.registry is not None:
-        obs.registry.merge_snapshot(snapshot)
-    if obs.sink is not None:
-        for event in events:
-            obs.emit(event)
+def _unwrap(outcomes: Sequence[TaskOutcome]) -> list[Any]:
+    """Results in task order; re-raise the first failure (legacy view)."""
+    results = []
+    for outcome in outcomes:
+        if outcome.ok:
+            results.append(outcome.result)
+        elif outcome.exception is not None:
+            raise outcome.exception
+        else:
+            raise SweepTaskError(
+                f"sweep task {outcome.key!r} ended {outcome.status!r} "
+                f"after {outcome.attempts} attempt(s): {outcome.error}",
+                outcome=outcome,
+            )
+    return results
 
 
 def run_parallel_sweep(
@@ -102,6 +82,9 @@ def run_parallel_sweep(
     *,
     jobs: int = 1,
     seed: SeedLike = None,
+    task_timeout: float | None = None,
+    max_task_retries: int = 2,
+    max_pool_rebuilds: int = 3,
 ) -> list[Any]:
     """Run independent sweep tasks, optionally across worker processes.
 
@@ -109,53 +92,33 @@ def run_parallel_sweep(
     ----------
     tasks: the sweep configurations, in result order.
     jobs: worker processes; ``1`` runs in-process (no executor, no
-        pickling requirement), ``N > 1`` fans out over a
-        :class:`~concurrent.futures.ProcessPoolExecutor` capped at
-        ``len(tasks)`` workers.
-    seed: root seed; task ``i`` receives the ``i``-th spawned child, so
-        results do not depend on ``jobs`` or on completion order.
+        pickling requirement), ``N > 1`` fans out over a supervised
+        :class:`~concurrent.futures.ProcessPoolExecutor`.
+    seed: root seed; task ``i`` receives the ``i``-th spawned child on
+        every attempt, so results do not depend on ``jobs``, completion
+        order, or crash-recovery retries.
+    task_timeout / max_task_retries / max_pool_rebuilds: supervision
+        knobs, see :func:`~repro.experiments.supervisor.run_supervised_sweep`.
 
     Returns
     -------
-    Task results in task order.
+    Task results in task order.  A task that still fails after
+    supervision re-raises its exception (or
+    :class:`~repro.errors.SweepTaskError` for crash/timeout outcomes,
+    which leave nothing to re-raise); callers that want to *survive*
+    failures should use :func:`run_supervised_sweep` and inspect the
+    outcomes instead.
     """
-    if jobs < 1:
-        raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
-    tasks = list(tasks)
-    children = spawn_seeds(seed, len(tasks))
-    obs = current_observer()
-    if obs is not None and not obs.active:
-        obs = None
-    if jobs == 1 or len(tasks) <= 1:
-        # In-process: the ambient observer is visible to the engines
-        # directly, so no snapshot transport is needed — only the
-        # per-task span.
-        out = []
-        for task, child in zip(tasks, children):
-            with maybe_span("sweep.task", label=task.key):
-                out.append(_call_task(task, child))
-        return out
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        if obs is None:
-            futures = [
-                pool.submit(_call_task, task, child)
-                for task, child in zip(tasks, children)
-            ]
-            return [f.result() for f in futures]
-        # Observed sweep: each worker records into its own registry and
-        # in-memory sink; the parent merges in task order, so the merged
-        # metrics and event stream do not depend on scheduling (events
-        # from different tasks are grouped, not interleaved).
-        futures = [
-            pool.submit(_call_task_observed, task, child)
-            for task, child in zip(tasks, children)
-        ]
-        results = []
-        for future in futures:
-            result, snapshot, events = future.result()
-            _merge_worker_observations(obs, snapshot, events)
-            results.append(result)
-        return results
+    return _unwrap(
+        run_supervised_sweep(
+            tasks,
+            jobs=jobs,
+            seed=seed,
+            task_timeout=task_timeout,
+            max_task_retries=max_task_retries,
+            max_pool_rebuilds=max_pool_rebuilds,
+        )
+    )
 
 
 def child_seed_int(child: np.random.SeedSequence) -> int:
@@ -186,7 +149,38 @@ def _run_catalog_task(
     )
 
 
-def run_catalog_parallel(
+def _catalog_checkpoint(
+    checkpoint: str | None,
+    experiment_ids: Sequence[str],
+    quick: bool,
+    seed: SeedLike,
+) -> SweepTaskCheckpoint | None:
+    """The sweep-level checkpoint for a catalog run, if requested.
+
+    Lives alongside the per-experiment trial checkpoints in the same
+    directory.  The config key pins the id list (child seeds depend on
+    task position), the mode and the root seed, so a resume under any
+    different configuration refuses to mix.
+    """
+    if checkpoint is None:
+        return None
+    from hashlib import sha1
+
+    from ..io import result_from_payload, result_to_payload
+
+    key = f"catalog:quick={quick}:seed={seed}:ids={','.join(experiment_ids)}"
+    # One manifest per configuration: `run E14` and `run-all` can share a
+    # checkpoint directory without tripping the refuse-to-mix guard.
+    digest = sha1(key.encode()).hexdigest()[:10]
+    return SweepTaskCheckpoint(
+        Path(checkpoint) / f"catalog-tasks-{digest}.json",
+        config_key=key,
+        encode=result_to_payload,
+        decode=result_from_payload,
+    )
+
+
+def run_catalog_supervised(
     experiment_ids: Sequence[str],
     *,
     quick: bool = True,
@@ -194,16 +188,24 @@ def run_catalog_parallel(
     jobs: int = 1,
     checkpoint: str | None = None,
     resume: bool = False,
-) -> list[ExperimentResult]:
-    """Run catalogued experiments as a parallel sweep.
+    task_timeout: float | None = None,
+    max_task_retries: int = 2,
+) -> list[TaskOutcome]:
+    """Run catalogued experiments as a supervised parallel sweep.
 
     Each experiment is one :class:`SweepTask` receiving an integer seed
     digested from its spawned child (:func:`child_seed_int`), so the
     result tables are a pure function of ``(experiment_ids, quick,
-    seed)`` — independent of ``jobs``.  ``checkpoint``/``resume`` are
-    forwarded to experiments that support them; per-experiment
-    checkpoint files are distinct, so concurrent workers never contend
-    on one file.
+    seed)`` — independent of ``jobs`` and of any crash recovery.
+    ``checkpoint``/``resume`` serve double duty: they are forwarded to
+    experiments that support trial-level checkpointing, *and* they back
+    a sweep-level :class:`~repro.experiments.supervisor.SweepTaskCheckpoint`
+    (``<checkpoint>/catalog-tasks.json``) that lets a resumed run skip
+    experiments that already completed.
+
+    Returns outcomes (``ok`` / ``timeout`` / ``crashed`` / ``error``) in
+    catalog order — a poisoned experiment degrades to a failed outcome
+    instead of aborting its siblings.
     """
     tasks = [
         SweepTask(
@@ -218,4 +220,42 @@ def run_catalog_parallel(
         )
         for experiment_id in experiment_ids
     ]
-    return run_parallel_sweep(tasks, jobs=jobs, seed=seed)
+    return run_supervised_sweep(
+        tasks,
+        jobs=jobs,
+        seed=seed,
+        task_timeout=task_timeout,
+        max_task_retries=max_task_retries,
+        checkpoint=_catalog_checkpoint(checkpoint, experiment_ids, quick, seed),
+        resume=resume,
+    )
+
+
+def run_catalog_parallel(
+    experiment_ids: Sequence[str],
+    *,
+    quick: bool = True,
+    seed: SeedLike = 0,
+    jobs: int = 1,
+    checkpoint: str | None = None,
+    resume: bool = False,
+    task_timeout: float | None = None,
+    max_task_retries: int = 2,
+) -> list[ExperimentResult]:
+    """Catalog sweep returning plain results (raises on any failure).
+
+    The legacy view over :func:`run_catalog_supervised` for callers that
+    treat a failed experiment as fatal.
+    """
+    return _unwrap(
+        run_catalog_supervised(
+            experiment_ids,
+            quick=quick,
+            seed=seed,
+            jobs=jobs,
+            checkpoint=checkpoint,
+            resume=resume,
+            task_timeout=task_timeout,
+            max_task_retries=max_task_retries,
+        )
+    )

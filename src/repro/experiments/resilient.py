@@ -38,6 +38,7 @@ import numpy as np
 from .._typing import SeedLike
 from ..errors import BroadcastIncompleteError, InvalidParameterError, ReproError
 from ..radio.trace import BroadcastTrace
+from .supervisor import quarantine_checkpoint
 
 __all__ = [
     "TrialOutcome",
@@ -118,17 +119,25 @@ class SweepCheckpoint:
         return self.path.exists()
 
     def load(self) -> dict[int, TrialRecord]:
-        """Records keyed by trial index; empty when no checkpoint exists."""
+        """Records keyed by trial index; empty when no checkpoint exists.
+
+        A truncated or garbage file (a kill mid-write on a filesystem
+        without atomic replace, a stray file at the checkpoint path) is
+        *quarantined* — renamed ``*.corrupt`` with a warning — and the
+        sweep restarts fresh, instead of a hard crash on resume.  A
+        ``config_key`` mismatch still raises: that file is a healthy
+        checkpoint for a *different* sweep, and silently discarding it
+        would mix samples.
+        """
         if not self.path.exists():
             return {}
         try:
             payload = json.loads(self.path.read_text())
             stored_key = payload["config_key"]
             records = [TrialRecord.from_json(r) for r in payload["records"]]
-        except (KeyError, TypeError, ValueError, OSError) as exc:
-            raise ReproError(
-                f"not a sweep checkpoint file: {self.path} ({exc})"
-            ) from exc
+        except (AttributeError, KeyError, TypeError, ValueError, OSError):
+            quarantine_checkpoint(self.path, kind="sweep checkpoint")
+            return {}
         if stored_key != self.config_key:
             raise ReproError(
                 f"checkpoint {self.path} was written for config "

@@ -24,6 +24,7 @@ from .report import format_markdown_table, format_table
 __all__ = [
     "ExperimentResult",
     "aggregate",
+    "outcomes_table",
     "protocol_times",
     "gossip_times",
     "multimessage_times",
@@ -91,6 +92,32 @@ class ExperimentResult:
         return np.array(
             [float(r[name]) if r.get(name) is not None else np.nan for r in self.rows]
         )
+
+
+def outcomes_table(outcomes, *, title: str = "supervised sweep summary") -> str:
+    """Render supervised-sweep task outcomes as an aligned text table.
+
+    ``outcomes`` is a sequence of
+    :class:`~repro.experiments.supervisor.TaskOutcome`-shaped records
+    (duck-typed: ``key``/``status``/``attempts``/``elapsed``/``error``).
+    ``repro run-all --jobs N`` prints this after the result tables so a
+    sweep with failed or recovered experiments says so explicitly.
+    """
+    rows = [
+        {
+            "task": o.key,
+            "status": o.status,
+            "attempts": o.attempts,
+            "elapsed_s": round(o.elapsed, 2),
+            "error": o.error,
+        }
+        for o in outcomes
+    ]
+    return format_table(
+        rows,
+        ["task", "status", "attempts", "elapsed_s", "error"],
+        title=title,
+    )
 
 
 def aggregate(values) -> dict[str, float]:

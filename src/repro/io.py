@@ -32,6 +32,8 @@ __all__ = [
     "load_schedule",
     "save_result",
     "load_result",
+    "result_to_payload",
+    "result_from_payload",
 ]
 
 
@@ -97,11 +99,15 @@ def load_schedule(path: str | Path) -> Schedule:
     return Schedule(n, rounds, labels=labels)
 
 
-def save_result(result: ExperimentResult, path: str | Path) -> Path:
-    """Write an experiment result to JSON (``.json`` appended if absent)."""
-    path = Path(path)
-    if path.suffix != ".json":
-        path = path.with_suffix(path.suffix + ".json")
+def result_to_payload(result: ExperimentResult) -> dict:
+    """An experiment result as a plain-JSON-typed dict.
+
+    Normalised through the JSON codec (NumPy scalars become Python
+    numbers), so the payload can be embedded in any JSON document — the
+    supervised executor's sweep-level checkpoint
+    (:class:`~repro.experiments.supervisor.SweepTaskCheckpoint`) stores
+    completed ``run-all`` results this way.
+    """
     payload = {
         "experiment_id": result.experiment_id,
         "title": result.title,
@@ -119,7 +125,35 @@ def save_result(result: ExperimentResult, path: str | Path) -> Path:
             for name, fit in result.fits.items()
         },
     }
-    path.write_text(json.dumps(payload, indent=2, default=_json_default) + "\n")
+    return json.loads(json.dumps(payload, default=_json_default))
+
+
+def result_from_payload(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its payload dict."""
+    result = ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        claim=payload["claim"],
+        columns=list(payload["columns"]),
+        rows=list(payload["rows"]),
+        notes=list(payload.get("notes", [])),
+    )
+    for name, fit in payload.get("fits", {}).items():
+        result.fits[name] = FitResult(
+            slope=fit["slope"],
+            intercept=fit["intercept"],
+            r_squared=fit["r_squared"],
+            feature_name=fit.get("feature_name", "x"),
+        )
+    return result
+
+
+def save_result(result: ExperimentResult, path: str | Path) -> Path:
+    """Write an experiment result to JSON (``.json`` appended if absent)."""
+    path = Path(path)
+    if path.suffix != ".json":
+        path = path.with_suffix(path.suffix + ".json")
+    path.write_text(json.dumps(result_to_payload(result), indent=2) + "\n")
     return path
 
 
@@ -137,22 +171,7 @@ def load_result(path: str | Path) -> ExperimentResult:
     """Load an experiment result saved by :func:`save_result`."""
     path = Path(path)
     try:
-        payload = json.loads(path.read_text())
-        result = ExperimentResult(
-            experiment_id=payload["experiment_id"],
-            title=payload["title"],
-            claim=payload["claim"],
-            columns=list(payload["columns"]),
-            rows=list(payload["rows"]),
-            notes=list(payload.get("notes", [])),
-        )
-        for name, fit in payload.get("fits", {}).items():
-            result.fits[name] = FitResult(
-                slope=fit["slope"],
-                intercept=fit["intercept"],
-                r_squared=fit["r_squared"],
-                feature_name=fit.get("feature_name", "x"),
-            )
+        result = result_from_payload(json.loads(path.read_text()))
     except (KeyError, TypeError, ValueError, OSError) as exc:
         raise ReproError(f"not a saved result file: {path} ({exc})") from exc
     return result

@@ -23,6 +23,12 @@ full schema):
     the lockstep engines' analogues; ``batch-round`` carries ``active``
     (trials still running), ``transmitters``/``collisions`` summed over
     active trials, and ``wall_s``.
+``exec-task-retry`` / ``exec-task-timeout`` / ``exec-worker-crash`` /
+``exec-pool-rebuild`` / ``exec-degraded``
+    executor-health events from the supervised parallel executor
+    (:mod:`repro.experiments.supervisor`): task requeues, deadline
+    expiries, broken-pool recoveries and degradation to serial
+    execution.
 
 :func:`validate_event` checks an event against this schema and is what
 the schema tests (and any external consumer) should use.
@@ -61,6 +67,13 @@ _REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     "batch-start": ("run", "engine", "n", "repetitions", "max_rounds"),
     "batch-round": ("run", "engine", "t", "active", "wall_s"),
     "batch-end": ("run", "engine", "rounds", "num_completed", "wall_s"),
+    # Executor-health events from the supervised parallel executor
+    # (repro.experiments.supervisor); see docs/FAULTS.md.
+    "exec-task-retry": ("task", "attempt", "reason"),
+    "exec-task-timeout": ("task", "elapsed_s"),
+    "exec-worker-crash": ("victims",),
+    "exec-pool-rebuild": ("rebuilds", "requeued"),
+    "exec-degraded": ("remaining",),
 }
 
 _INT_KEYS = frozenset(
@@ -80,6 +93,11 @@ _INT_KEYS = frozenset(
         "informed",
         "pairs_known",
         "nodes_complete",
+        "attempt",
+        "victims",
+        "rebuilds",
+        "requeued",
+        "remaining",
     }
 )
 
@@ -100,8 +118,11 @@ def validate_event(event: dict) -> None:
     for key, value in event.items():
         if key in _INT_KEYS and not isinstance(value, int):
             raise ValueError(f"{kind} event key {key!r} must be int, got {value!r}")
-    if "wall_s" in event and not isinstance(event["wall_s"], (int, float)):
-        raise ValueError(f"{kind} event wall_s must be a number")
+    for seconds_key in ("wall_s", "elapsed_s"):
+        if seconds_key in event and not isinstance(
+            event[seconds_key], (int, float)
+        ):
+            raise ValueError(f"{kind} event {seconds_key} must be a number")
     faults = event.get("faults")
     if faults is not None:
         if not isinstance(faults, dict) or not all(

@@ -142,11 +142,39 @@ class TestCheckpointResume:
                 ok_trial, 2, seed=0, checkpoint=ck, config_key="b", resume=True
             )
 
-    def test_malformed_checkpoint_raises(self, tmp_path):
+    def test_malformed_checkpoint_quarantined(self, tmp_path):
+        """A corrupt file restarts the sweep fresh instead of crashing."""
         ck = tmp_path / "sweep.json"
         ck.write_text("not json at all")
-        with pytest.raises(ReproError, match="not a sweep checkpoint"):
-            SweepCheckpoint(ck).load()
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            records = SweepCheckpoint(ck).load()
+        assert records == {}
+        assert not ck.exists()
+        quarantined = tmp_path / "sweep.json.corrupt"
+        assert quarantined.read_text() == "not json at all"
+
+    @pytest.mark.parametrize(
+        "garbage",
+        ['{"records": []}', '{"config_key": "k", "records": "nope"}', "[1, 2]"],
+    )
+    def test_truncated_payload_quarantined(self, tmp_path, garbage):
+        ck = tmp_path / "sweep.json"
+        ck.write_text(garbage)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert SweepCheckpoint(ck, "k").load() == {}
+
+    def test_resume_restarts_fresh_after_quarantine(self, tmp_path):
+        """An end-to-end resume over a corrupt checkpoint reruns everything."""
+        ck = tmp_path / "sweep.json"
+        ck.write_text('{"truncated')
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            res = run_resilient_sweep(
+                ok_trial, 3, seed=0, checkpoint=ck, config_key="k", resume=True
+            )
+        assert res.num_trials == 3
+        assert res.completion_fraction == 1.0
+        # The rerun rewrote a healthy checkpoint at the original path.
+        assert len(SweepCheckpoint(ck, "k").load()) == 3
 
     def test_checkpoint_file_is_valid_json_with_sorted_records(self, tmp_path):
         ck = tmp_path / "sweep.json"

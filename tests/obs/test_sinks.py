@@ -88,6 +88,37 @@ class TestValidateEvent:
             }
         )
 
+    def test_accepts_executor_health_events(self):
+        validate_event(
+            {"v": 1, "kind": "exec-task-retry", "task": "E7", "attempt": 2,
+             "reason": "worker process died"}
+        )
+        validate_event(
+            {"v": 1, "kind": "exec-task-timeout", "task": "E7",
+             "elapsed_s": 30.2}
+        )
+        validate_event({"v": 1, "kind": "exec-worker-crash", "victims": 2})
+        validate_event(
+            {"v": 1, "kind": "exec-pool-rebuild", "rebuilds": 1, "requeued": 3}
+        )
+        validate_event({"v": 1, "kind": "exec-degraded", "remaining": 4})
+
+    def test_rejects_malformed_executor_events(self):
+        with pytest.raises(ValueError, match="attempt"):
+            validate_event(
+                {"v": 1, "kind": "exec-task-retry", "task": "E7",
+                 "reason": "crash"}
+            )
+        with pytest.raises(ValueError, match="must be int"):
+            validate_event(
+                {"v": 1, "kind": "exec-worker-crash", "victims": 2.5}
+            )
+        with pytest.raises(ValueError, match="elapsed_s"):
+            validate_event(
+                {"v": 1, "kind": "exec-task-timeout", "task": "E7",
+                 "elapsed_s": "slow"}
+            )
+
     def test_rejects_non_dict(self):
         with pytest.raises(ValueError, match="must be a dict"):
             validate_event([("v", 1)])

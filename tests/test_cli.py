@@ -99,6 +99,29 @@ class TestJobs:
         assert out1.read_text() == out2.read_text()
         assert "[E7]" in out1.read_text()
 
+    def test_run_all_with_jobs_prints_outcome_summary(self, capsys):
+        assert main(["run-all", "--only", "E7", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "supervised sweep summary" in out
+        # The summary row names the experiment and its terminal status.
+        summary = out[out.index("supervised sweep summary"):]
+        assert "E7" in summary and "ok" in summary
+
+    def test_run_all_with_jobs_resumes_past_completed(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck")
+        args = ["run-all", "--only", "E7", "--jobs", "1", "--seed", "5",
+                "--checkpoint", ck]
+        assert main(args) == 0
+        manifests = list(tmp_path.glob("ck/catalog-tasks-*.json"))
+        assert len(manifests) == 1
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        # The resumed run served E7 from the sweep checkpoint but still
+        # prints its table and the outcome summary.
+        assert "[E7]" in out
+        assert "supervised sweep summary" in out
+
 
 class TestRunOut:
     def test_run_saves_json(self, tmp_path, capsys):
@@ -124,6 +147,17 @@ class TestSharedParents:
         assert args.jobs == 3
         assert args.checkpoint == "ckpt"
         assert args.resume is False
+
+    @pytest.mark.parametrize("command", [["run", "E4"], ["run-all"], ["profile", "E4"]])
+    def test_supervision_flags(self, command):
+        args = build_parser().parse_args(command)
+        assert args.task_timeout is None
+        assert args.max_task_retries == 2
+        args = build_parser().parse_args(
+            command + ["--task-timeout", "30.5", "--max-task-retries", "0"]
+        )
+        assert args.task_timeout == 30.5
+        assert args.max_task_retries == 0
 
     @pytest.mark.parametrize("command", [["run", "E4"], ["run-all"], ["profile", "E4"]])
     def test_trace_out_flag(self, command):
