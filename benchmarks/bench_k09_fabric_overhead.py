@@ -1,0 +1,202 @@
+"""K9 — engineering: multi-host fabric healthy-path overhead.
+
+The fabric (:mod:`repro.experiments.fabric`) moves the supervised
+sweep's tasks over TCP to worker processes instead of a local
+``ProcessPoolExecutor``.  Its healthy-path costs over the supervised
+pool are (a) one-time worker spawn + connect, (b) per-task pickle +
+frame + socket round trip, and (c) the coordinator's selector loop.
+The design target is that with CPU-bound tasks of tens of ms the
+steady-state per-task overhead stays < 10% over the supervised pool at
+the same parallelism — the framing is a few hundred bytes per task and
+both sides block on real work, not on the protocol.
+
+``measure_fabric_overhead`` times the same task list two ways —
+supervised pool at ``jobs=N`` (the PR 5 baseline) and a loopback
+fabric with ``workers=N`` — using identical spawned seed children so
+the comparison is work-for-work.  Worker startup is reported separately
+(``fabric_startup_seconds``, measured with near-empty tasks) so the
+steady-state figure is not polluted by process spawn.
+
+The pytest entry points assert CI-noise-tolerant bounds (loopback TCP
+plus worker spawn jitter dominate at the ~100 ms scale of a quick run)
+and check byte-identity of results; the script mode emits the
+``BENCH_fabric.json`` artifact CI uploads::
+
+    PYTHONPATH=src python benchmarks/bench_k09_fabric_overhead.py \\
+        --quick --out BENCH_fabric.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from statistics import median
+
+from repro.experiments.fabric import run_fabric_sweep
+from repro.experiments.supervisor import SweepTask, run_supervised_sweep
+
+from bench_k08_supervisor_overhead import TASK_DRAWS, busy_task
+
+
+def make_tasks(count: int, draws: int = TASK_DRAWS) -> list[SweepTask]:
+    return [
+        SweepTask(key=f"t{i}", fn=busy_task, kwargs={"draws": draws})
+        for i in range(count)
+    ]
+
+
+def _time(fn, loops: int) -> float:
+    samples = []
+    for _ in range(loops):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return median(samples)
+
+
+def measure_fabric_overhead(
+    num_tasks: int, workers: int, loops: int = 2, draws: int = TASK_DRAWS
+) -> dict:
+    """Supervised pool vs loopback fabric at the same parallelism.
+
+    Every ``run_fabric_sweep`` call here spawns its workers fresh, so
+    the raw wall-clock comparison is dominated by interpreter startup
+    at quick-bench scale.  The startup cost is measured on its own with
+    near-empty tasks and netted out: ``steady_state_overhead_pct`` is
+    the per-task protocol cost a long sweep actually pays, while
+    ``fabric_overhead_pct`` keeps the raw (startup-inclusive) figure.
+    """
+    tasks = make_tasks(num_tasks, draws)
+
+    def supervised():
+        run_supervised_sweep(tasks, jobs=workers, seed=42)
+
+    def fabric():
+        run_fabric_sweep(tasks, seed=42, workers=workers)
+
+    t_sup = _time(supervised, loops)
+    t_fab = _time(fabric, loops)
+    t_start = measure_fabric_startup(workers, loops)["fabric_startup_seconds"]
+    t_steady = max(t_fab - t_start, 0.0)
+    return {
+        "num_tasks": num_tasks,
+        "workers": workers,
+        "supervised_seconds": t_sup,
+        "fabric_seconds": t_fab,
+        "fabric_startup_seconds": t_start,
+        "fabric_overhead_pct": 100.0 * (t_fab / t_sup - 1.0),
+        "steady_state_overhead_pct": 100.0 * (t_steady / t_sup - 1.0),
+    }
+
+
+def measure_fabric_startup(workers: int, loops: int = 2) -> dict:
+    """Spawn + connect + protocol cost with near-zero task work.
+
+    With ``draws=1`` the whole run *is* overhead: worker process spawn,
+    TCP connect, HELLO/TASK/ACK/RESULT framing, and teardown.  This is
+    the fixed cost a sweep must amortise.
+    """
+    tasks = make_tasks(workers, draws=1)
+
+    def fabric():
+        run_fabric_sweep(tasks, seed=42, workers=workers)
+
+    return {
+        "workers": workers,
+        "fabric_startup_seconds": _time(fabric, loops),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+def test_k09_fabric_matches_supervised_results():
+    tasks = make_tasks(4, draws=1000)
+    supervised = run_supervised_sweep(tasks, jobs=1, seed=7)
+    fabric = run_fabric_sweep(tasks, seed=7, workers=2)
+    assert [o.result for o in fabric] == [o.result for o in supervised]
+    assert all(o.status == "ok" for o in fabric)
+
+
+def test_k09_steady_state_overhead_bounded():
+    stats = measure_fabric_overhead(8, workers=2, loops=1)
+    print(
+        f"\nfabric fan-out: supervised={stats['supervised_seconds'] * 1e3:.0f} ms, "
+        f"fabric raw +{stats['fabric_overhead_pct']:.2f}%, "
+        f"steady-state +{stats['steady_state_overhead_pct']:.2f}% "
+        f"-- design target < 10% steady-state"
+    )
+    # The 10% target is checked on quiet hardware via the BENCH_fabric
+    # artifact; CI shares cores and the startup estimate is itself noisy
+    # at the ~100 ms quick-run scale, so the hard bound is generous.
+    assert stats["fabric_seconds"] - stats["fabric_startup_seconds"] < (
+        2.5 * stats["supervised_seconds"]
+    )
+
+
+def test_k09_startup_cost_bounded():
+    stats = measure_fabric_startup(2, loops=1)
+    print(
+        f"\nfabric startup (2 workers, empty tasks): "
+        f"{stats['fabric_startup_seconds'] * 1e3:.0f} ms"
+    )
+    # Two interpreter spawns plus connect; generous for shared CI boxes.
+    assert stats["fabric_startup_seconds"] < 30.0
+
+
+# ----------------------------------------------------------------------
+# Script mode: emit the CI fabric-overhead artifact
+# ----------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="fabric overhead bench")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer tasks and loops (CI budget)",
+    )
+    parser.add_argument("--out", default=None, help="write JSON results to this path")
+    args = parser.parse_args(argv)
+
+    loops = 1 if args.quick else 2
+    task_counts = (8,) if args.quick else (8, 32)
+    worker_options = (2,) if args.quick else (2, 4)
+
+    steady = [
+        measure_fabric_overhead(count, workers, loops)
+        for count in task_counts
+        for workers in worker_options
+    ]
+    startup = [measure_fabric_startup(workers, loops) for workers in worker_options]
+    payload = {
+        "benchmark": "k09_fabric_overhead",
+        "mode": "quick" if args.quick else "full",
+        "target_overhead_pct": 10.0,
+        "steady_state": steady,
+        "startup": startup,
+    }
+    for row in steady:
+        print(
+            f"tasks={row['num_tasks']:>3} workers={row['workers']}  supervised "
+            f"{row['supervised_seconds'] * 1e3:>7,.1f} ms  fabric raw "
+            f"+{row['fabric_overhead_pct']:.2f}%  steady-state "
+            f"+{row['steady_state_overhead_pct']:.2f}%"
+        )
+    for row in startup:
+        print(
+            f"workers={row['workers']}  startup "
+            f"{row['fabric_startup_seconds'] * 1e3:>7,.1f} ms"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

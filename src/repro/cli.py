@@ -9,6 +9,8 @@ Usage::
     python -m repro run E14 --checkpoint ckpt/ --resume
     python -m repro run E4 --trace-out e4.jsonl
     python -m repro run-all --quick --out results.md
+    python -m repro run-all --fabric 127.0.0.1:0 --workers 4
+    python -m repro worker --connect 127.0.0.1:7777
     python -m repro profile E7 --seed 3
 
 Flags shared across subcommands (``--seed``, ``--jobs``,
@@ -21,6 +23,13 @@ worker crashes are retried on the experiment's original child seed,
 hung experiments expire against ``--task-timeout``, and ``run-all``
 prints a per-task outcome summary instead of dying on a poisoned
 experiment.
+
+``--fabric HOST:PORT`` routes the same sweep through the multi-host
+coordinator/worker fabric (``repro.experiments.fabric``) instead of the
+local pool: ``--workers N`` spawns N loopback workers, ``--workers 0``
+waits for externally started ``repro worker --connect HOST:PORT``
+processes and degrades to the local pool when none arrive.  The tables
+are byte-identical across ``--jobs`` and ``--fabric``.
 """
 
 from __future__ import annotations
@@ -101,8 +110,31 @@ def _sweep_parent() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help=(
             "per-experiment wall-clock deadline on the supervised executor "
-            "(--jobs); an expired experiment is recorded as a timeout "
-            "outcome without stalling or aborting its siblings"
+            "(--jobs) or the fabric coordinator (--fabric); an expired "
+            "experiment is recorded as a timeout outcome without stalling "
+            "or aborting its siblings"
+        ),
+    )
+    parent.add_argument(
+        "--fabric",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "run the sweep on the multi-host coordinator/worker fabric, "
+            "listening on HOST:PORT (port 0 picks a free port) for "
+            "`repro worker --connect` processes; mutually exclusive with "
+            "--jobs, byte-identical to it"
+        ),
+    )
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --fabric: spawn N loopback worker subprocesses; 0 "
+            "(default) waits for external workers and degrades to the "
+            "local pool when none connect"
         ),
     )
     parent.add_argument(
@@ -194,11 +226,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one experiment under a metrics registry and print the span/metric breakdown",
     )
     p_prof.add_argument("experiment", help="experiment id, e.g. E4")
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="serve sweep tasks for a fabric coordinator (see run-all --fabric)",
+    )
+    p_worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to dial",
+    )
+    p_worker.add_argument(
+        "--name",
+        default=None,
+        help="host identity reported to the coordinator (default: hostname/pid)",
+    )
+    p_worker.add_argument(
+        "--heartbeat",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="liveness beacon interval (default: 1.0)",
+    )
+    p_worker.add_argument(
+        "--chaos-net",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "JSON network-fault schedule (repro.experiments.chaos."
+            "save_net_chaos) applied to this worker's sends; test-only"
+        ),
+    )
     return parser
 
 
 def _render(result, markdown: bool) -> str:
     return result.to_markdown() if markdown else result.table()
+
+
+def _sweep_flag_error(args) -> str | None:
+    """First invalid sweep-flag combination, or ``None`` when consistent."""
+    if args.resume and not args.checkpoint:
+        return "--resume requires --checkpoint"
+    if args.jobs is not None and args.jobs < 1:
+        return "--jobs must be >= 1"
+    if args.fabric is not None and args.jobs is not None:
+        return "--fabric and --jobs are mutually exclusive"
+    if args.workers < 0:
+        return "--workers must be >= 0"
+    if args.workers and args.fabric is None:
+        return "--workers requires --fabric"
+    return None
 
 
 def _make_observer(args, *, with_registry: bool = False) -> Observer | None:
@@ -230,6 +309,22 @@ def _finish_observer(obs: Observer | None, trace_out: str | None) -> None:
 
 def _run_one(spec, args):
     """Dispatch one experiment through the sequential or supervised path."""
+    if args.fabric is not None:
+        from .experiments.parallel import _unwrap, run_catalog_fabric
+
+        return _unwrap(
+            run_catalog_fabric(
+                [spec.experiment_id],
+                quick=not args.full,
+                seed=args.seed,
+                listen=args.fabric,
+                workers=args.workers,
+                checkpoint=args.checkpoint,
+                resume=args.resume,
+                task_timeout=args.task_timeout,
+                max_task_retries=args.max_task_retries,
+            )
+        )[0]
     if args.jobs is not None:
         from .experiments import run_catalog_parallel
 
@@ -298,12 +393,29 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench : {spec.bench_target}")
         return 0
 
+    if args.command == "worker":
+        from .experiments.chaos import load_net_chaos
+        from .experiments.fabric import run_worker
+
+        chaos = load_net_chaos(args.chaos_net) if args.chaos_net else None
+        try:
+            return run_worker(
+                args.connect,
+                name=args.name,
+                heartbeat_interval=args.heartbeat,
+                chaos=chaos,
+            )
+        except OSError as exc:
+            print(
+                f"worker: cannot reach coordinator at {args.connect}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+
     if args.command == "run":
-        if args.resume and not args.checkpoint:
-            print("--resume requires --checkpoint", file=sys.stderr)
-            return 2
-        if args.jobs is not None and args.jobs < 1:
-            print("--jobs must be >= 1", file=sys.stderr)
+        error = _sweep_flag_error(args)
+        if error:
+            print(error, file=sys.stderr)
             return 2
         spec = get_experiment(args.experiment)
         if args.checkpoint and "checkpoint" not in spec.supported_options():
@@ -336,11 +448,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run-all":
-        if args.resume and not args.checkpoint:
-            print("--resume requires --checkpoint", file=sys.stderr)
-            return 2
-        if args.jobs is not None and args.jobs < 1:
-            print("--jobs must be >= 1", file=sys.stderr)
+        error = _sweep_flag_error(args)
+        if error:
+            print(error, file=sys.stderr)
             return 2
         if args.only:
             specs = [get_experiment(token) for token in args.only.split(",") if token]
@@ -349,21 +459,50 @@ def main(argv: list[str] | None = None) -> int:
         obs = _make_observer(args)
         chunks = []
         failed = 0
-        if args.jobs is not None:
-            from .experiments import outcomes_table, run_catalog_supervised
+        if args.jobs is not None or args.fabric is not None:
+            from .experiments import outcomes_table
 
             start = time.perf_counter()
-            with _observed(obs):
-                outcomes = run_catalog_supervised(
-                    [spec.experiment_id for spec in specs],
-                    quick=not args.full,
-                    seed=args.seed,
-                    jobs=args.jobs,
-                    checkpoint=args.checkpoint,
-                    resume=args.resume,
-                    task_timeout=args.task_timeout,
-                    max_task_retries=args.max_task_retries,
+            try:
+                with _observed(obs):
+                    if args.fabric is not None:
+                        from .experiments import run_catalog_fabric
+
+                        outcomes = run_catalog_fabric(
+                            [spec.experiment_id for spec in specs],
+                            quick=not args.full,
+                            seed=args.seed,
+                            listen=args.fabric,
+                            workers=args.workers,
+                            checkpoint=args.checkpoint,
+                            resume=args.resume,
+                            task_timeout=args.task_timeout,
+                            max_task_retries=args.max_task_retries,
+                        )
+                    else:
+                        from .experiments import run_catalog_supervised
+
+                        outcomes = run_catalog_supervised(
+                            [spec.experiment_id for spec in specs],
+                            quick=not args.full,
+                            seed=args.seed,
+                            jobs=args.jobs,
+                            checkpoint=args.checkpoint,
+                            resume=args.resume,
+                            task_timeout=args.task_timeout,
+                            max_task_retries=args.max_task_retries,
+                        )
+            except KeyboardInterrupt:
+                # The coordinator/supervisor has already released leases
+                # (BYE to workers) and flushed completed outcomes, so the
+                # sweep is resumable from --checkpoint.
+                _finish_observer(obs, args.trace_out)
+                print(
+                    "interrupted: completed outcomes are checkpointed; "
+                    "rerun with --resume to continue",
+                    file=sys.stderr,
                 )
+                return 130
             elapsed = time.perf_counter() - start
             # A poisoned experiment is reported and skipped, not fatal:
             # the healthy tables print, the summary names the casualty.
@@ -376,7 +515,12 @@ def main(argv: list[str] | None = None) -> int:
                 else:
                     failed += 1
             print(outcomes_table(outcomes))
-            print(f"({len(outcomes)} experiments, --jobs {args.jobs}, {elapsed:.1f}s)")
+            executor = (
+                f"--fabric {args.fabric} --workers {args.workers}"
+                if args.fabric is not None
+                else f"--jobs {args.jobs}"
+            )
+            print(f"({len(outcomes)} experiments, {executor}, {elapsed:.1f}s)")
             if failed:
                 print(
                     f"{failed} experiment(s) did not complete; see the "
@@ -406,11 +550,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1 if failed else 0
 
     if args.command == "profile":
-        if args.resume and not args.checkpoint:
-            print("--resume requires --checkpoint", file=sys.stderr)
-            return 2
-        if args.jobs is not None and args.jobs < 1:
-            print("--jobs must be >= 1", file=sys.stderr)
+        error = _sweep_flag_error(args)
+        if error:
+            print(error, file=sys.stderr)
             return 2
         spec = get_experiment(args.experiment)
         obs = _make_observer(args, with_registry=True)

@@ -17,6 +17,8 @@ __all__ = [
     "BroadcastIncompleteError",
     "ExecutorError",
     "SweepTaskError",
+    "FabricError",
+    "CoordinatorHalted",
 ]
 
 
@@ -77,3 +79,23 @@ class SweepTaskError(ExecutorError):
     def __init__(self, message: str, outcome=None):
         super().__init__(message)
         self.outcome = outcome
+
+
+class FabricError(ExecutorError):
+    """The multi-host sweep fabric could not run or complete a sweep."""
+
+
+class CoordinatorHalted(FabricError):
+    """The fabric coordinator stopped before the sweep finished.
+
+    Raised by the ``halt_after`` chaos hook
+    (:func:`~repro.experiments.fabric.run_fabric_sweep`), which
+    simulates coordinator death mid-sweep: terminal outcomes up to the
+    halt are already flushed to the sweep checkpoint, so a subsequent
+    ``resume=True`` run proves restart recovery.  Carries how many
+    terminal outcomes had been recorded.
+    """
+
+    def __init__(self, message: str, completed: int = 0):
+        super().__init__(message)
+        self.completed = completed

@@ -20,11 +20,19 @@ Independent sweep configs fan out over worker processes through
 :func:`~repro.experiments.parallel.run_parallel_sweep`; per-config
 seeds are spawned from the root before scheduling, so results never
 depend on the worker count (``repro run-all --jobs N``).
+
+The same sweeps shard across machines through the fault-tolerant
+coordinator/worker fabric (:func:`~repro.experiments.fabric.run_fabric_sweep`,
+``repro run-all --fabric``) with identical seed discipline: leases,
+heartbeats, requeues and work stealing never change a single byte of
+the results.
 """
 
 from .catalog import EXPERIMENTS, get_experiment, run_experiment
+from .fabric import run_fabric_sweep, run_worker
 from .parallel import (
     SweepTask,
+    run_catalog_fabric,
     run_catalog_parallel,
     run_catalog_supervised,
     run_parallel_sweep,
@@ -65,6 +73,9 @@ __all__ = [
     "outcome_counts",
     "run_parallel_sweep",
     "run_supervised_sweep",
+    "run_fabric_sweep",
+    "run_worker",
     "run_catalog_parallel",
     "run_catalog_supervised",
+    "run_catalog_fabric",
 ]

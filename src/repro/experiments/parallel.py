@@ -29,7 +29,10 @@ compute:
   interrupted ``run-all --jobs N`` resume past completed experiments.
 
 ``repro run-all --jobs N`` (and ``repro run --jobs N``) route through
-:func:`run_catalog_supervised`.
+:func:`run_catalog_supervised`; ``--fabric`` routes the same task list
+through :func:`run_catalog_fabric`, which shards it over the multi-host
+coordinator/worker fabric (:mod:`repro.experiments.fabric`) with
+identical seed discipline — the two paths are byte-identical.
 """
 
 from __future__ import annotations
@@ -56,6 +59,7 @@ __all__ = [
     "run_supervised_sweep",
     "run_catalog_parallel",
     "run_catalog_supervised",
+    "run_catalog_fabric",
     "child_seed_int",
 ]
 
@@ -224,6 +228,58 @@ def run_catalog_supervised(
         tasks,
         jobs=jobs,
         seed=seed,
+        task_timeout=task_timeout,
+        max_task_retries=max_task_retries,
+        checkpoint=_catalog_checkpoint(checkpoint, experiment_ids, quick, seed),
+        resume=resume,
+    )
+
+
+def run_catalog_fabric(
+    experiment_ids: Sequence[str],
+    *,
+    quick: bool = True,
+    seed: SeedLike = 0,
+    listen: str = "127.0.0.1:0",
+    workers: int = 0,
+    checkpoint: str | None = None,
+    resume: bool = False,
+    task_timeout: float | None = None,
+    max_task_retries: int = 2,
+) -> list[TaskOutcome]:
+    """Run catalogued experiments on the multi-host sweep fabric.
+
+    The fabric twin of :func:`run_catalog_supervised`: the same task
+    list, seed derivation and sweep-level checkpoint manifest, executed
+    by :func:`~repro.experiments.fabric.run_fabric_sweep` instead of the
+    local pool — so ``run-all --jobs 1`` and ``run-all --fabric :0
+    --workers N`` produce byte-identical tables, and an interrupted
+    fabric run resumes from the same manifest a pool run would.
+
+    ``workers=0`` listens on ``listen`` for externally started ``repro
+    worker --connect`` processes and degrades to the local supervised
+    pool when none arrive; ``workers=N`` spawns N loopback workers.
+    """
+    from .fabric import run_fabric_sweep
+
+    tasks = [
+        SweepTask(
+            key=experiment_id,
+            fn=_run_catalog_task,
+            kwargs={
+                "experiment_id": experiment_id,
+                "quick": quick,
+                "checkpoint": checkpoint,
+                "resume": resume,
+            },
+        )
+        for experiment_id in experiment_ids
+    ]
+    return run_fabric_sweep(
+        tasks,
+        seed=seed,
+        listen=listen,
+        workers=workers,
         task_timeout=task_timeout,
         max_task_retries=max_task_retries,
         checkpoint=_catalog_checkpoint(checkpoint, experiment_ids, quick, seed),

@@ -99,25 +99,38 @@ def outcomes_table(outcomes, *, title: str = "supervised sweep summary") -> str:
 
     ``outcomes`` is a sequence of
     :class:`~repro.experiments.supervisor.TaskOutcome`-shaped records
-    (duck-typed: ``key``/``status``/``attempts``/``elapsed``/``error``).
-    ``repro run-all --jobs N`` prints this after the result tables so a
-    sweep with failed or recovered experiments says so explicitly.
+    (duck-typed: ``key``/``status``/``attempts``/``elapsed``/``error``
+    plus the shard-attribution fields ``host``/``requeued``/
+    ``lost_leases``).  ``repro run-all --jobs N`` prints this after the
+    result tables so a sweep with failed or recovered experiments says
+    so explicitly; under ``--fabric`` the ``host`` column attributes
+    each outcome to the executor shard that produced it, and
+    ``requeued``/``lost_leases`` count recovery the statuses hide.
     """
     rows = [
         {
             "task": o.key,
             "status": o.status,
+            "host": getattr(o, "host", ""),
             "attempts": o.attempts,
+            "requeued": getattr(o, "requeued", 0),
+            "lost_leases": getattr(o, "lost_leases", 0),
             "elapsed_s": round(o.elapsed, 2),
             "error": o.error,
         }
         for o in outcomes
     ]
-    return format_table(
-        rows,
-        ["task", "status", "attempts", "elapsed_s", "error"],
-        title=title,
-    )
+    columns = [
+        "task",
+        "status",
+        "host",
+        "attempts",
+        "requeued",
+        "lost_leases",
+        "elapsed_s",
+        "error",
+    ]
+    return format_table(rows, columns, title=title)
 
 
 def aggregate(values) -> dict[str, float]:

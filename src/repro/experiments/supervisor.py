@@ -111,6 +111,15 @@ class TaskOutcome:
     carries the last failure message otherwise.  ``exception`` holds the
     last raised exception object for ``error`` outcomes (crash and
     timeout leave nothing to re-raise) and never crosses serialisation.
+
+    The executor-shard attribution fields exist for the multi-host
+    fabric (:mod:`repro.experiments.fabric`) and stay at their zero
+    values under single-host supervision: ``host`` names the executor
+    shard that produced the terminal attempt (``"local"`` for the
+    in-process and pool paths), ``requeued`` counts how many times the
+    task was put back on the queue by recovery, and ``lost_leases`` how
+    many of those requeues were a lease revoked from a partitioned,
+    disconnected or expired worker.
     """
 
     key: str
@@ -119,6 +128,9 @@ class TaskOutcome:
     attempts: int = 1
     elapsed: float = 0.0
     error: str = ""
+    host: str = ""
+    requeued: int = 0
+    lost_leases: int = 0
     exception: BaseException | None = field(default=None, repr=False, compare=False)
 
     @property
@@ -136,6 +148,9 @@ class TaskOutcome:
             "attempts": self.attempts,
             "elapsed": self.elapsed,
             "error": self.error,
+            "host": self.host,
+            "requeued": self.requeued,
+            "lost_leases": self.lost_leases,
             "result": result,
         }
 
@@ -153,14 +168,32 @@ class TaskOutcome:
             attempts=payload["attempts"],
             elapsed=payload["elapsed"],
             error=payload.get("error", ""),
+            host=payload.get("host", ""),
+            requeued=payload.get("requeued", 0),
+            lost_leases=payload.get("lost_leases", 0),
         )
 
 
-def outcome_counts(outcomes: Sequence[TaskOutcome]) -> dict[str, int]:
-    """Outcome tally by status (insertion-ordered, only statuses seen)."""
+def outcome_counts(
+    outcomes: Sequence[TaskOutcome], *, with_recovery: bool = False
+) -> dict[str, int]:
+    """Outcome tally by status (insertion-ordered, only statuses seen).
+
+    With ``with_recovery=True`` the tally also carries total
+    ``requeued`` and ``lost_leases`` counts across the sweep (only when
+    non-zero), so fabric summaries can say how much recovery the
+    statuses hide.
+    """
     counts: dict[str, int] = {}
     for outcome in outcomes:
         counts[outcome.status] = counts.get(outcome.status, 0) + 1
+    if with_recovery:
+        requeued = sum(o.requeued for o in outcomes)
+        lost = sum(o.lost_leases for o in outcomes)
+        if requeued:
+            counts["requeued"] = requeued
+        if lost:
+            counts["lost_leases"] = lost
     return counts
 
 
@@ -347,6 +380,8 @@ class _Supervisor:
         return time.monotonic() - started if started is not None else 0.0
 
     def _record(self, index: int, outcome: TaskOutcome) -> None:
+        if not outcome.host:
+            outcome.host = "local"
         self.outcomes[index] = outcome
         self._inc("exec.tasks", label=outcome.status)
         if self.obs is not None:

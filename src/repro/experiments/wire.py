@@ -1,0 +1,217 @@
+"""Framed wire protocol for the multi-host sweep fabric.
+
+The fabric (:mod:`repro.experiments.fabric`) moves small control
+messages and pickled task payloads between one coordinator and many
+workers over TCP.  This module owns the byte-level concerns so the
+fabric can think entirely in messages:
+
+* **framing** — every message is one pickle blob behind a 4-byte
+  big-endian length prefix.  Pickle is the transport because task
+  payloads carry module-level callables and ``SeedSequence`` children;
+  the fabric is therefore a *trusted-cluster* protocol (loopback, lab
+  network), never an internet-facing one — exactly the stance
+  distributed PDES engines take toward their MPI ranks;
+* **channels** — :class:`FramedChannel` wraps a connected socket with a
+  thread-safe :meth:`~FramedChannel.send` (workers heartbeat from a
+  background thread while the main thread executes tasks) and a
+  blocking :meth:`~FramedChannel.recv` for the worker's
+  single-message-at-a-time loop.  The coordinator is a non-blocking
+  ``selectors`` loop instead and uses :class:`FrameDecoder` to turn
+  arbitrary byte chunks into whole messages;
+* **fault injection** — a channel accepts an optional
+  :class:`~repro.experiments.chaos.NetChaos` schedule and consults it on
+  every send, so dropped / delayed / duplicated messages and partition
+  windows are injected below the fabric's own logic.  The healthy
+  channel is the zero-fault special case, like every other fault model
+  in this codebase.
+
+Message construction helpers stamp the ``kind`` field; everything else
+is plain dict keys, kept flat so messages remain cheap to construct and
+inspect.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import time
+
+__all__ = [
+    "MSG_HELLO",
+    "MSG_TASK",
+    "MSG_ACK",
+    "MSG_RESULT",
+    "MSG_HEARTBEAT",
+    "MSG_BYE",
+    "MSG_GOODBYE",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "FrameDecoder",
+    "FramedChannel",
+    "parse_address",
+    "format_address",
+]
+
+#: Worker -> coordinator: announce host identity after connecting.
+MSG_HELLO = "hello"
+#: Coordinator -> worker: one task assignment (key, attempt, payload).
+MSG_TASK = "task"
+#: Worker -> coordinator: assignment received (an unacked lease past its
+#: ack window means the ``task`` frame died on the wire).
+MSG_ACK = "ack"
+#: Worker -> coordinator: terminal report of one task attempt.
+MSG_RESULT = "result"
+#: Worker -> coordinator: liveness beacon (sent from a side thread).
+MSG_HEARTBEAT = "heartbeat"
+#: Coordinator -> worker: sweep is over, disconnect cleanly.
+MSG_BYE = "bye"
+#: Worker -> coordinator: clean exit, release any held lease.
+MSG_GOODBYE = "goodbye"
+
+#: Upper bound on one frame; a longer length prefix means a corrupt or
+#: hostile stream and the connection is dropped instead of allocated for.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """One message as its on-wire bytes (length prefix + pickle)."""
+    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {len(blob)} bytes exceeds MAX_FRAME_BYTES")
+    return _LENGTH.pack(len(blob)) + blob
+
+
+class FrameDecoder:
+    """Incremental frame reassembly for non-blocking reads.
+
+    Feed it whatever ``recv`` returned; it yields every complete message
+    and buffers the tail.  One decoder per connection — frames from
+    different sockets must never interleave.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Absorb ``data``; return all messages completed by it."""
+        self._buffer.extend(data)
+        messages = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return messages
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ValueError(
+                    f"incoming frame of {length} bytes exceeds MAX_FRAME_BYTES"
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return messages
+            blob = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            messages.append(pickle.loads(blob))
+
+
+class FramedChannel:
+    """A connected socket speaking length-prefixed pickled messages.
+
+    ``send`` is serialised by a lock so the worker's heartbeat thread
+    and its task loop can share the channel.  ``chaos`` (a
+    :class:`~repro.experiments.chaos.NetChaos`) is consulted per send:
+
+    * ``drop`` — the message is silently discarded;
+    * ``delay`` — the sender sleeps before writing (delaying everything
+      behind it, as a congested uplink would);
+    * ``duplicate`` — the frame is written twice back-to-back;
+    * ``partition`` — opens a wall-clock window during which *every*
+      send is discarded, heartbeats included, so the peer's liveness
+      detector sees a genuine partition.
+
+    Injection happens on the sending side only: a drop on ``A``'s send
+    is indistinguishable from a drop on ``B``'s receive, and send-side
+    keeps the receive path allocation-free.
+    """
+
+    def __init__(self, sock: socket.socket, *, chaos=None):
+        self.sock = sock
+        self.chaos = chaos
+        self._decoder = FrameDecoder()
+        self._send_lock = threading.Lock()
+        self._mute_until = 0.0
+        # One recv() chunk can decode several messages; the surplus
+        # queues here and drains before the socket is read again.
+        self._pending: list[dict] = []
+
+    def send(self, message: dict) -> bool:
+        """Write one message; False when chaos swallowed it."""
+        copies = 1
+        if self.chaos is not None:
+            now = time.monotonic()
+            if now < self._mute_until:
+                return False
+            action = self.chaos.on_send(message.get("kind", ""))
+            if action is not None:
+                if action.action == "drop":
+                    return False
+                if action.action == "partition":
+                    self._mute_until = now + action.seconds
+                    return False
+                if action.action == "delay":
+                    time.sleep(action.seconds)
+                elif action.action == "duplicate":
+                    copies = 2
+        frame = encode_frame(message)
+        with self._send_lock:
+            self.sock.sendall(frame * copies)
+        return True
+
+    def recv(self, timeout: float | None = None) -> dict | None:
+        """Block for the next whole message; ``None`` on clean EOF.
+
+        Raises :class:`socket.timeout` when ``timeout`` elapses between
+        reads (the worker's way of noticing a silent coordinator).
+        """
+        if self._pending:
+            return self._pending.pop(0)
+        self.sock.settimeout(timeout)
+        while True:
+            data = self.sock.recv(65536)
+            if not data:
+                return None
+            messages = self._decoder.feed(data)
+            if messages:
+                self._pending.extend(messages[1:])
+                return messages[0]
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent, best-effort)."""
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+
+def parse_address(address: str, *, default_host: str = "127.0.0.1") -> tuple[str, int]:
+    """``"host:port"`` / ``":port"`` / ``"port"`` -> ``(host, port)``."""
+    text = str(address).strip()
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        host = host or default_host
+    else:
+        host, port_text = default_host, text
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid fabric address {address!r}: bad port") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"invalid fabric address {address!r}: port out of range")
+    return host, port
+
+
+def format_address(host: str, port: int) -> str:
+    """The canonical ``host:port`` rendering of a fabric endpoint."""
+    return f"{host}:{port}"

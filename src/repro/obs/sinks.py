@@ -29,6 +29,14 @@ full schema):
     (:mod:`repro.experiments.supervisor`): task requeues, deadline
     expiries, broken-pool recoveries and degradation to serial
     execution.
+``fabric-start`` / ``fabric-worker-join`` / ``fabric-worker-lost`` /
+``fabric-task-requeue`` / ``fabric-task-steal`` /
+``fabric-duplicate-result`` / ``fabric-task-timeout`` /
+``fabric-degraded`` / ``fabric-halt`` / ``fabric-end``
+    coordinator-side events from the multi-host sweep fabric
+    (:mod:`repro.experiments.fabric`): worker membership, lease
+    revocations and requeues, speculative steals, idempotent
+    duplicate-result discards, and degradation to the local pool.
 
 :func:`validate_event` checks an event against this schema and is what
 the schema tests (and any external consumer) should use.
@@ -74,6 +82,18 @@ _REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     "exec-worker-crash": ("victims",),
     "exec-pool-rebuild": ("rebuilds", "requeued"),
     "exec-degraded": ("remaining",),
+    # Multi-host fabric events from the coordinator
+    # (repro.experiments.fabric); see docs/FAULTS.md.
+    "fabric-start": ("address", "tasks"),
+    "fabric-worker-join": ("worker", "host"),
+    "fabric-worker-lost": ("worker", "leases", "reason"),
+    "fabric-task-requeue": ("task", "attempt", "reason"),
+    "fabric-task-steal": ("task", "worker"),
+    "fabric-duplicate-result": ("task", "worker"),
+    "fabric-task-timeout": ("task", "elapsed_s"),
+    "fabric-degraded": ("remaining", "reason"),
+    "fabric-halt": ("completed",),
+    "fabric-end": ("tasks", "workers"),
 }
 
 _INT_KEYS = frozenset(
@@ -98,6 +118,10 @@ _INT_KEYS = frozenset(
         "rebuilds",
         "requeued",
         "remaining",
+        "tasks",
+        "leases",
+        "completed",
+        "workers",
     }
 )
 

@@ -159,6 +159,49 @@ class TestTaskOutcome:
         ]
         assert outcome_counts(outcomes) == {TASK_OK: 2, TASK_TIMEOUT: 1}
 
+    def test_outcome_counts_with_recovery_totals(self):
+        outcomes = [
+            TaskOutcome(key="a", status=TASK_OK, requeued=2, lost_leases=1),
+            TaskOutcome(key="b", status=TASK_OK, requeued=1),
+        ]
+        counts = outcome_counts(outcomes, with_recovery=True)
+        assert counts == {TASK_OK: 2, "requeued": 3, "lost_leases": 1}
+        # Zero recovery stays invisible, even when asked for.
+        clean = [TaskOutcome(key="a", status=TASK_OK)]
+        assert outcome_counts(clean, with_recovery=True) == {TASK_OK: 1}
+
+    def test_shard_attribution_json_round_trip(self):
+        outcome = TaskOutcome(
+            key="E7",
+            status=TASK_CRASHED,
+            attempts=3,
+            error="worker lost (partition)",
+            host="lab-3/4411",
+            requeued=2,
+            lost_leases=1,
+        )
+        again = TaskOutcome.from_json(outcome.to_json())
+        assert (again.host, again.requeued, again.lost_leases) == ("lab-3/4411", 2, 1)
+        assert again == outcome
+
+    def test_from_json_tolerates_pre_fabric_payloads(self):
+        """Checkpoints written before shard attribution existed load with
+        neutral defaults instead of KeyErrors."""
+        legacy = {
+            "key": "E7",
+            "status": TASK_OK,
+            "result": [1.0],
+            "attempts": 1,
+            "elapsed": 0.5,
+            "error": "",
+        }
+        outcome = TaskOutcome.from_json(legacy)
+        assert (outcome.host, outcome.requeued, outcome.lost_leases) == ("", 0, 0)
+
+    def test_local_sweep_stamps_local_host(self):
+        outcomes = run_supervised_sweep(healthy_tasks(2), jobs=1, seed=0)
+        assert all(o.host == "local" for o in outcomes)
+
     def test_outcomes_table_renders(self):
         outcomes = [
             TaskOutcome(key="E7", status=TASK_OK, attempts=1, elapsed=1.0),
@@ -170,6 +213,17 @@ class TestTaskOutcome:
         table = outcomes_table(outcomes)
         assert "task" in table and "status" in table
         assert "E14" in table and "crashed" in table and "worker process died" in table
+
+    def test_outcomes_table_renders_shard_attribution(self):
+        outcomes = [
+            TaskOutcome(
+                key="E7", status=TASK_OK, attempts=2, elapsed=1.0,
+                host="lab-3/4411", requeued=1, lost_leases=1,
+            ),
+        ]
+        table = outcomes_table(outcomes)
+        assert "host" in table and "requeued" in table and "lost_leases" in table
+        assert "lab-3/4411" in table
 
 
 class TestHealthyPath:

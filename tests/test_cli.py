@@ -34,6 +34,28 @@ class TestParser:
         args = build_parser().parse_args(["run-all"])
         assert args.only is None
         assert args.jobs is None
+        assert args.fabric is None
+        assert args.workers == 0
+
+    def test_fabric_flags(self):
+        args = build_parser().parse_args(
+            ["run-all", "--fabric", "127.0.0.1:0", "--workers", "3"]
+        )
+        assert args.fabric == "127.0.0.1:0"
+        assert args.workers == 3
+
+    def test_worker_flags(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "10.0.0.2:7777", "--heartbeat", "0.5"]
+        )
+        assert args.connect == "10.0.0.2:7777"
+        assert args.heartbeat == 0.5
+        assert args.chaos_net is None
+        assert args.name is None
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
 
 
 class TestCommands:
@@ -86,6 +108,28 @@ class TestJobs:
         assert main(["run", "E7", "--jobs", "0"]) == 2
         assert "--jobs must be >= 1" in capsys.readouterr().err
         assert main(["run-all", "--only", "E7", "--jobs", "0"]) == 2
+
+    def test_fabric_flag_validation(self, capsys):
+        assert main(["run-all", "--only", "E7", "--fabric", ":0", "--jobs", "2"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+        assert main(["run-all", "--only", "E7", "--workers", "2"]) == 2
+        assert "--workers requires --fabric" in capsys.readouterr().err
+        assert main(["run-all", "--only", "E7", "--fabric", ":0", "--workers", "-1"]) == 2
+        assert "--workers must be >= 0" in capsys.readouterr().err
+
+    def test_run_all_fabric_matches_jobs(self, tmp_path, capsys):
+        """A loopback fabric run produces the byte-identical report."""
+        out_jobs = tmp_path / "jobs.md"
+        out_fabric = tmp_path / "fabric.md"
+        assert main(["run-all", "--only", "E7", "--jobs", "1", "--seed", "5",
+                     "--out", str(out_jobs)]) == 0
+        capsys.readouterr()
+        assert main(["run-all", "--only", "E7", "--fabric", "127.0.0.1:0",
+                     "--workers", "1", "--seed", "5", "--out", str(out_fabric)]) == 0
+        out = capsys.readouterr().out
+        assert out_jobs.read_text() == out_fabric.read_text()
+        assert "supervised sweep summary" in out
+        assert "--fabric 127.0.0.1:0 --workers 1" in out
 
     def test_run_with_jobs(self, capsys):
         assert main(["run", "E7", "--jobs", "1"]) == 0
