@@ -22,7 +22,18 @@ Quickstart
 True
 """
 
+from .backends import (
+    KernelBackend,
+    available_backend_names,
+    backend_names,
+    current_backend_name,
+    probe_backends,
+    set_backend,
+    use_backend,
+)
 from .errors import (
+    BackendError,
+    BackendUnavailableError,
     BroadcastIncompleteError,
     DisconnectedGraphError,
     GraphError,
@@ -83,6 +94,16 @@ __all__ = [
     "ScheduleError",
     "SimulationError",
     "BroadcastIncompleteError",
+    "BackendError",
+    "BackendUnavailableError",
+    # kernel backends
+    "KernelBackend",
+    "backend_names",
+    "available_backend_names",
+    "current_backend_name",
+    "probe_backends",
+    "set_backend",
+    "use_backend",
     # graphs
     "Adjacency",
     "gnp",

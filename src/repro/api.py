@@ -28,9 +28,11 @@ implemented by :class:`~repro.radio.trace.BroadcastTrace`,
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Protocol, runtime_checkable
 
 from ._typing import SeedLike
+from .backends import KernelBackend, use_backend
 from .errors import InvalidParameterError
 from .graphs.adjacency import Adjacency
 from .graphs.random_graphs import gnp_connected
@@ -164,6 +166,7 @@ def simulate(
     max_rounds: int | None = None,
     check_connected: bool = True,
     raise_on_incomplete: bool = True,
+    backend: str | KernelBackend | None = None,
     **kwargs,
 ) -> SimulationResult:
     """Run one registered dissemination process and return its trace.
@@ -188,6 +191,14 @@ def simulate(
     check_connected: verify reachability up front.
     raise_on_incomplete: raise on a budget miss (default) or return the
         partial trace.
+    backend: optional kernel backend for the run — a registered name
+        (``"numpy"``, ``"numba"``, ``"cupy"``) or a
+        :class:`~repro.backends.KernelBackend` instance, installed for
+        the duration of the call via
+        :func:`~repro.backends.use_backend`.  ``None`` keeps the
+        ambient selection (``REPRO_BACKEND`` or the numpy default).
+        All backends return identical integer counts, so this affects
+        throughput only, never the trace.
     **kwargs: process-specific keywords, exactly the legacy entry point's
         surface — ``protocol``/``source``/``p`` for broadcast,
         ``protocol``/``p`` for gossip, ``protocol``/``sources``/``p`` for
@@ -204,24 +215,28 @@ def simulate(
     """
     network = _as_network(graph_or_params)
     dynamics = _resolve_dynamics(process, network, kwargs)
-    if obs is None:
-        return run_dissemination(
-            network,
-            dynamics,
-            plan=faults,
-            seed=seed,
-            max_rounds=max_rounds,
-            check_connected=check_connected,
-            raise_on_incomplete=raise_on_incomplete,
-        )
-    with use_observer(obs):
-        return run_dissemination(
-            network,
-            dynamics,
-            plan=faults,
-            seed=seed,
-            max_rounds=max_rounds,
-            check_connected=check_connected,
-            raise_on_incomplete=raise_on_incomplete,
-            obs=obs,
-        )
+    # nullcontext when no backend was asked for: ``use_backend(None)``
+    # would *clear* an ambient explicit selection, not keep it.
+    scope = use_backend(backend) if backend is not None else nullcontext()
+    with scope:
+        if obs is None:
+            return run_dissemination(
+                network,
+                dynamics,
+                plan=faults,
+                seed=seed,
+                max_rounds=max_rounds,
+                check_connected=check_connected,
+                raise_on_incomplete=raise_on_incomplete,
+            )
+        with use_observer(obs):
+            return run_dissemination(
+                network,
+                dynamics,
+                plan=faults,
+                seed=seed,
+                max_rounds=max_rounds,
+                check_connected=check_connected,
+                raise_on_incomplete=raise_on_incomplete,
+                obs=obs,
+            )

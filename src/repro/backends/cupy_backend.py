@@ -1,0 +1,127 @@
+"""Optional GPU kernel backend via CuPy (CSR×dense on device).
+
+The batched round kernel becomes one device spmm per round: the CSR
+structure is uploaded once per adjacency (cached on the adjacency via a
+weak-key map, so graph lifetime governs device memory), each round's
+masks are shipped host→device, multiplied, and the counts shipped back.
+Transfers are the dominant cost at small ``n`` — the backend therefore
+keeps explicit accounting: every call increments ``kernel.h2d_bytes`` /
+``kernel.d2h_bytes`` counters on the ambient observer, so a profile
+shows exactly when the PCIe bus, not the kernel, is the bottleneck.
+
+Exactness: the device product runs in float64 (CuPy sparse does not do
+int64 spmm), whose integers are exact up to 2^53 — unreachable by any
+neighbour count (bounded by the max degree) — so the rounded int64
+counts are bit-identical to the CPU backends' and the determinism
+contract holds.
+
+The serial kernel delegates to the numpy backend: one ``(n,)`` matvec
+round-trips more transfer than compute, and the serial engines are not
+this backend's target workload.
+
+Availability requires cupy *and* a visible CUDA device; the probe
+reports which half is missing.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import weakref
+
+import numpy as np
+
+from ..obs import current_observer
+from .base import BackendProbe, KernelBackend, register_backend
+
+__all__ = ["CupyBackend"]
+
+
+def _cupy():
+    import cupy
+
+    return cupy
+
+
+class CupyBackend(KernelBackend):
+    """CSR×dense on GPU; available when cupy sees a CUDA device."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # adjacency -> device csr_matrix; weak keys so dropping a graph
+        # frees its device copy.
+        self._device_csr: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._numpy = None
+
+    @classmethod
+    def probe(cls) -> BackendProbe:
+        if importlib.util.find_spec("cupy") is None:
+            return BackendProbe(cls.name, False, None, "cupy not installed")
+        try:
+            cupy = _cupy()
+            count = cupy.cuda.runtime.getDeviceCount()
+        except Exception as exc:
+            return BackendProbe(cls.name, False, None, f"cupy/CUDA unusable: {exc}")
+        if count < 1:
+            return BackendProbe(
+                cls.name, False, cupy.__version__, "no CUDA device visible"
+            )
+        detail = f"cupy {cupy.__version__}, {count} CUDA device(s)"
+        return BackendProbe(cls.name, True, cupy.__version__, detail)
+
+    def _cpu_fallback(self) -> KernelBackend:
+        if self._numpy is None:
+            from .numpy_backend import NumpyBackend
+
+            self._numpy = NumpyBackend()
+        return self._numpy
+
+    def _device_matrix(self, adj):
+        cached = self._device_csr.get(adj)
+        if cached is not None:
+            return cached
+        cupy = _cupy()
+        import cupyx.scipy.sparse as cusparse
+
+        host = adj.matrix()
+        device = cusparse.csr_matrix(
+            (
+                cupy.ones(adj.indices.size, dtype=cupy.float64),
+                cupy.asarray(adj.indices, dtype=cupy.int32),
+                cupy.asarray(adj.indptr, dtype=cupy.int32),
+            ),
+            shape=host.shape,
+        )
+        self._account(
+            h2d=adj.indices.size * 8 + adj.indices.size * 4 + adj.indptr.size * 4
+        )
+        self._device_csr[adj] = device
+        return device
+
+    @staticmethod
+    def _account(*, h2d: int = 0, d2h: int = 0) -> None:
+        obs = current_observer()
+        if obs is None or not obs.active:
+            return
+        if h2d:
+            obs.inc("kernel.h2d_bytes", h2d, label="cupy")
+        if d2h:
+            obs.inc("kernel.d2h_bytes", d2h, label="cupy")
+
+    def _neighbor_counts(self, adj, mask: np.ndarray) -> np.ndarray:
+        return self._cpu_fallback()._neighbor_counts(adj, mask)
+
+    def _neighbor_counts_batch(self, adj, masks: np.ndarray) -> np.ndarray:
+        cupy = _cupy()
+        matrix = self._device_matrix(adj)
+        dense_host = np.ascontiguousarray(masks, dtype=np.float64)
+        dense = cupy.asarray(dense_host)
+        counts = matrix.dot(dense)
+        out = cupy.asnumpy(counts).astype(np.int64)
+        self._account(h2d=dense_host.nbytes, d2h=out.nbytes)
+        self._last_path = "spmm"
+        return out
+
+
+register_backend(CupyBackend)

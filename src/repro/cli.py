@@ -12,12 +12,17 @@ Usage::
     python -m repro run-all --fabric 127.0.0.1:0 --workers 4
     python -m repro worker --connect 127.0.0.1:7777
     python -m repro profile E7 --seed 3
+    python -m repro backends
+    python -m repro run E4 --backend numba
 
 Flags shared across subcommands (``--seed``, ``--jobs``,
 ``--task-timeout``, ``--max-task-retries``, ``--checkpoint``,
-``--resume``, ``--trace-out``, ``--full``, ``--markdown``, ``--only``) are
+``--resume``, ``--trace-out``, ``--full``, ``--markdown``, ``--only``,
+``--backend``) are
 declared once on parent parsers, so their defaults and help text cannot
-drift between ``run``, ``run-all`` and ``profile``.  ``--jobs`` routes
+drift between ``run``, ``run-all`` and ``profile``.  ``--backend``
+selects the kernel backend (``repro backends`` lists the registry) and
+exports ``REPRO_BACKEND`` so spawned workers inherit the choice.  ``--jobs`` routes
 through the supervised executor (``repro.experiments.supervisor``):
 worker crashes are retried on the experiment's original child seed,
 hung experiments expire against ``--task-timeout``, and ``run-all``
@@ -35,11 +40,12 @@ are byte-identical across ``--jobs`` and ``--fabric``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from contextlib import nullcontext
 
-from .errors import SweepTaskError
+from .errors import BackendError, InvalidParameterError, SweepTaskError
 from .experiments import EXPERIMENTS, get_experiment, run_experiment
 from .obs import JsonlTraceSink, MetricsRegistry, Observer, use_observer
 
@@ -168,6 +174,24 @@ def _trace_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _backend_parent() -> argparse.ArgumentParser:
+    """Shared ``--backend`` declaration (run / run-all / profile)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "kernel backend for the hot round kernels (`repro backends` "
+            "lists the registry with availability); exported as "
+            "REPRO_BACKEND so spawned --jobs/--fabric workers inherit it. "
+            "Every backend returns identical results — this is a "
+            "throughput knob only"
+        ),
+    )
+    return parent
+
+
 def _only_parent() -> argparse.ArgumentParser:
     """Shared ``--only`` declaration (run-all / dynamics)."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -193,8 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     seed, mode, render = _seed_parent(), _mode_parent(), _render_parent()
     sweep, trace, only = _sweep_parent(), _trace_parent(), _only_parent()
+    backend = _backend_parent()
 
     sub.add_parser("list", help="list catalogued experiments")
+
+    sub.add_parser(
+        "backends",
+        help="list kernel backends with availability/version probes",
+    )
 
     sub.add_parser(
         "dynamics",
@@ -207,7 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser(
         "run",
-        parents=[seed, mode, render, sweep, trace],
+        parents=[seed, mode, render, sweep, trace, backend],
         help="run one experiment and print its table",
     )
     p_run.add_argument("experiment", help="experiment id, e.g. E4")
@@ -215,14 +245,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_all = sub.add_parser(
         "run-all",
-        parents=[seed, mode, render, sweep, trace, only],
+        parents=[seed, mode, render, sweep, trace, only, backend],
         help="run every experiment in catalog order",
     )
     p_all.add_argument("--out", default=None, help="also write the report to this file")
 
     p_prof = sub.add_parser(
         "profile",
-        parents=[seed, mode, sweep, trace],
+        parents=[seed, mode, sweep, trace, backend],
         help="run one experiment under a metrics registry and print the span/metric breakdown",
     )
     p_prof.add_argument("experiment", help="experiment id, e.g. E4")
@@ -277,6 +307,27 @@ def _sweep_flag_error(args) -> str | None:
         return "--workers must be >= 0"
     if args.workers and args.fabric is None:
         return "--workers requires --fabric"
+    return None
+
+
+def _select_backend(args) -> str | None:
+    """Install ``--backend`` process- and fleet-wide; error text on failure.
+
+    The name is also exported as ``REPRO_BACKEND`` so worker processes
+    spawned by ``--jobs`` / ``--fabric`` (which inherit the
+    environment, not the parent's registry state) resolve the same
+    backend.
+    """
+    name = getattr(args, "backend", None)
+    if not name:
+        return None
+    from .backends import BACKEND_ENV_VAR, set_backend
+
+    try:
+        set_backend(name)
+    except (BackendError, InvalidParameterError) as exc:
+        return str(exc)
+    os.environ[BACKEND_ENV_VAR] = name
     return None
 
 
@@ -356,6 +407,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{spec.experiment_id:>4}  {spec.title}")
         return 0
 
+    if args.command == "backends":
+        from .backends import current_backend_name, get_backend, probe_backends
+
+        active = current_backend_name()
+        for probe in probe_backends():
+            marker = "*" if probe.name == active else " "
+            status = "available" if probe.available else "unavailable"
+            version = probe.version or "-"
+            print(f"{marker} {probe.name:<8} {status:<12} {version:<10} {probe.detail}")
+        cost = get_backend().calibrate()
+        suffix = f" (scatter-cost {cost:.1f})" if cost is not None else ""
+        print(f"active: {active}{suffix}")
+        return 0
+
     if args.command == "dynamics":
         # Importing the packages populates the registry via subclassing.
         import repro.gossip  # noqa: F401
@@ -413,7 +478,7 @@ def main(argv: list[str] | None = None) -> int:
             return 1
 
     if args.command == "run":
-        error = _sweep_flag_error(args)
+        error = _sweep_flag_error(args) or _select_backend(args)
         if error:
             print(error, file=sys.stderr)
             return 2
@@ -438,8 +503,13 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         elapsed = time.perf_counter() - start
         _finish_observer(obs, args.trace_out)
+        from .backends import current_backend_name
+
         print(_render(result, args.markdown))
-        print(f"\n({'full' if args.full else 'quick'} mode, {elapsed:.1f}s)")
+        print(
+            f"\n({'full' if args.full else 'quick'} mode, "
+            f"{current_backend_name()} backend, {elapsed:.1f}s)"
+        )
         if args.out:
             from .io import save_result
 
@@ -448,7 +518,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run-all":
-        error = _sweep_flag_error(args)
+        error = _sweep_flag_error(args) or _select_backend(args)
         if error:
             print(error, file=sys.stderr)
             return 2
@@ -514,13 +584,18 @@ def main(argv: list[str] | None = None) -> int:
                     chunks.append(chunk)
                 else:
                     failed += 1
+            from .backends import current_backend_name
+
             print(outcomes_table(outcomes))
             executor = (
                 f"--fabric {args.fabric} --workers {args.workers}"
                 if args.fabric is not None
                 else f"--jobs {args.jobs}"
             )
-            print(f"({len(outcomes)} experiments, {executor}, {elapsed:.1f}s)")
+            print(
+                f"({len(outcomes)} experiments, {executor}, "
+                f"{current_backend_name()} backend, {elapsed:.1f}s)"
+            )
             if failed:
                 print(
                     f"{failed} experiment(s) did not complete; see the "
@@ -550,7 +625,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1 if failed else 0
 
     if args.command == "profile":
-        error = _sweep_flag_error(args)
+        error = _sweep_flag_error(args) or _select_backend(args)
         if error:
             print(error, file=sys.stderr)
             return 2
@@ -561,10 +636,12 @@ def main(argv: list[str] | None = None) -> int:
             result = _run_one(spec, args)
         elapsed = time.perf_counter() - start
         _finish_observer(obs, args.trace_out)
+        from .backends import current_backend_name
+
         print(f"[{result.experiment_id}] {spec.title} — profile")
         print(
             f"({'full' if args.full else 'quick'} mode, seed {args.seed}, "
-            f"{elapsed:.1f}s wall)"
+            f"{current_backend_name()} backend, {elapsed:.1f}s wall)"
         )
         print()
         print(obs.registry.report())

@@ -19,6 +19,8 @@ __all__ = [
     "SweepTaskError",
     "FabricError",
     "CoordinatorHalted",
+    "BackendError",
+    "BackendUnavailableError",
 ]
 
 
@@ -60,6 +62,21 @@ class BroadcastIncompleteError(SimulationError):
     def __init__(self, message: str, trace=None):
         super().__init__(message)
         self.trace = trace
+
+
+class BackendError(ReproError):
+    """A kernel backend failed to initialise or execute."""
+
+
+class BackendUnavailableError(BackendError):
+    """A registered kernel backend cannot run in this environment.
+
+    Raised when a backend is selected *explicitly* (``set_backend``,
+    ``simulate(backend=...)``, CLI ``--backend``) but its availability
+    probe fails — numba/cupy not installed, or no CUDA device.  The
+    implicit ``REPRO_BACKEND`` environment selection degrades to the
+    numpy backend with a :class:`RuntimeWarning` instead of raising.
+    """
 
 
 class ExecutorError(ReproError):

@@ -30,6 +30,7 @@ from time import perf_counter
 import numpy as np
 
 from .._typing import BoolArray, FloatArray, IntArray, SeedLike
+from ..backends import current_backend_name
 from ..errors import DisconnectedGraphError, InvalidParameterError
 from ..graphs.bfs import bfs_distances
 from ..obs import SCHEMA_VERSION, current_observer
@@ -213,6 +214,7 @@ def _run_knowledge_batch(
                 "kind": "batch-start",
                 "run": run_id,
                 "engine": engine,
+                "backend": current_backend_name(),
                 "n": n,
                 "repetitions": int(repetitions),
                 "max_rounds": int(max_rounds),

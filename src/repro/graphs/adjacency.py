@@ -22,6 +22,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from .._typing import BoolArray, IntArray
+from ..backends import get_backend
 from ..errors import GraphError
 
 __all__ = ["Adjacency"]
@@ -61,6 +62,7 @@ class Adjacency:
         "_degrees",
         "_mask_buf",
         "_gather_arange",
+        "_dense_buf",
         "__weakref__",
     )
 
@@ -77,6 +79,7 @@ class Adjacency:
         self._degrees: np.ndarray | None = None
         self._mask_buf: np.ndarray | None = None
         self._gather_arange: np.ndarray | None = None
+        self._dense_buf: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -293,22 +296,16 @@ class Adjacency:
 
         This is the radio round kernel: with ``mask`` the transmitter set,
         the result tells each node how many transmissions reach it.  The
-        bool→int cast goes through a cached scratch buffer, so the hot
-        matvec allocates only its output (one array per round).
+        computation dispatches through the process-wide kernel backend
+        (:func:`repro.backends.get_backend`); on the default numpy
+        backend the bool→int cast goes through a cached scratch buffer,
+        so the hot matvec allocates only its output (one array per
+        round).  Every backend returns identical integer counts.
         """
         mask = np.asarray(mask)
         if mask.shape != (self.n,):
             raise GraphError(f"mask must have shape ({self.n},), got {mask.shape}")
-        if self._mask_buf is None:
-            self._mask_buf = np.empty(self.n, dtype=np.int64)
-        np.copyto(self._mask_buf, mask, casting="unsafe")
-        return self.matrix().dot(self._mask_buf)
-
-    #: Crossover for :meth:`neighbor_counts_batch`: the scatter path costs
-    #: roughly this many matmul flops per gathered edge endpoint, so it is
-    #: taken only while (transmissions × that factor) stays below the
-    #: dense matmul's fixed ``nnz × R`` work.
-    _SCATTER_COST = 4
+        return get_backend().neighbor_counts(self, mask)
 
     def neighbor_counts_batch(self, masks: BoolArray | np.ndarray) -> IntArray:
         """Batched round kernel: neighbour counts for ``R`` masks at once.
@@ -318,55 +315,23 @@ class Adjacency:
         replaces ``R`` separate :meth:`neighbor_counts` matvecs, which is
         what makes batched Monte-Carlo repetition cheap.
 
-        Two execution paths, chosen by transmission volume:
-
-        * **scatter** — when few nodes transmit (the common case for
-          ``1/d``-selective protocol rounds), gather the transmitters'
-          CSR rows and accumulate one :func:`numpy.bincount` over a
-          flattened ``(R, n)`` index space.  Work scales with the number
-          of transmitting-node edge endpoints, not with ``nnz × R``.
-        * **matmul** — when transmitters are dense (flood rounds), a
-          single CSR×dense matmul traverses the structure once for all
-          columns.
+        Execution dispatches through the process-wide kernel backend
+        (:func:`repro.backends.get_backend`): the default numpy backend
+        picks between a gather/``bincount`` **scatter** path and a
+        CSR×dense **matmul** path by estimated transmission volume
+        (crossover calibrated once per process — see
+        :mod:`repro.backends.numpy_backend`); the optional numba and
+        cupy backends run a compiled ``prange`` loop / a device spmm
+        instead.  All backends return identical integer counts, so the
+        selection is invisible in results (docs/PERFORMANCE.md,
+        "Kernel backends").
         """
         masks = np.asarray(masks)
         if masks.ndim != 2 or masks.shape[0] != self.n:
             raise GraphError(
                 f"masks must have shape ({self.n}, R), got {masks.shape}"
             )
-        n, reps = masks.shape
-        # Work in whichever orientation is contiguous: the batch engine
-        # keeps trial-major (R, n) state and hands us its transpose, and a
-        # single flatnonzero over the contiguous base beats a strided 2-D
-        # nonzero by ~3x.  The returned counts inherit the input's layout,
-        # so downstream elementwise ops stay contiguous either way.
-        trial_major = masks.T.flags.c_contiguous and not masks.flags.c_contiguous
-        base = masks.T if trial_major else np.ascontiguousarray(masks)
-        flat_in = np.flatnonzero(base)
-        if trial_major:
-            col, node = np.divmod(flat_in, n)
-        else:
-            node, col = np.divmod(flat_in, reps)
-        lengths = self.degrees[node]
-        cumlen = np.cumsum(lengths)
-        work = int(cumlen[-1]) if lengths.size else 0
-        if work * self._SCATTER_COST >= self._indices.size * reps:
-            dense = np.ascontiguousarray(masks, dtype=np.int64)
-            return self.matrix().dot(dense)
-        if work == 0:
-            return np.zeros((n, reps), dtype=np.int64)
-        if self._gather_arange is None or self._gather_arange.size < work:
-            self._gather_arange = np.arange(work, dtype=np.int64)
-        starts = self._indptr[node]
-        offsets = np.repeat(starts - (cumlen - lengths), lengths)
-        neighbours = self._indices[offsets + self._gather_arange[:work]]
-        if trial_major:
-            flat_out = np.repeat(col * np.int64(n), lengths) + neighbours
-            counts = np.bincount(flat_out, minlength=n * reps)
-            return counts.reshape(reps, n).T
-        flat_out = neighbours * np.int64(reps) + np.repeat(col, lengths)
-        counts = np.bincount(flat_out, minlength=n * reps)
-        return counts.reshape(n, reps)
+        return get_backend().neighbor_counts_batch(self, masks)
 
     def neighborhood_of(self, nodes: IntArray | Sequence[int]) -> IntArray:
         """Sorted unique union of neighbours of ``nodes`` (may include ``nodes``)."""

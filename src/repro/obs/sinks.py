@@ -72,7 +72,7 @@ _REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
         "wall_s",
     ),
     "run-end": ("run", "dynamics", "rounds", "completed", "wall_s"),
-    "batch-start": ("run", "engine", "n", "repetitions", "max_rounds"),
+    "batch-start": ("run", "engine", "backend", "n", "repetitions", "max_rounds"),
     "batch-round": ("run", "engine", "t", "active", "wall_s"),
     "batch-end": ("run", "engine", "rounds", "num_completed", "wall_s"),
     # Executor-health events from the supervised parallel executor

@@ -1,0 +1,178 @@
+"""Cross-backend parity: every backend returns identical integer counts.
+
+This is the determinism contract that makes the backend choice a pure
+throughput knob — trajectories are functions of the counts, so equal
+counts mean equal traces, digests and tables on every backend.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import NumpyBackend, available_backend_names, get_backend, use_backend
+from repro.backends import numpy_backend as numpy_backend_module
+from repro.graphs import gnp
+from repro.obs import MetricsRegistry, Observer, use_observer
+
+
+def _reference_counts(adj, masks):
+    """Per-column serial matvec: the slow, obviously-correct kernel."""
+    dense = masks.astype(np.int64)
+    return np.stack(
+        [adj.matrix().dot(np.ascontiguousarray(dense[:, j])) for j in range(masks.shape[1])],
+        axis=1,
+    )
+
+
+def _mask_grid(adj, rng):
+    """Masks covering both crossover sides and both memory layouts."""
+    n = adj.n
+    for density in (0.0, 0.02, 0.5, 1.0):
+        masks = rng.random((n, 8)) < density
+        yield masks  # C-order (n, R)
+        yield np.ascontiguousarray(masks.T).T  # trial-major view
+
+
+@pytest.mark.parametrize("name", available_backend_names())
+class TestBackendParity:
+    def test_batch_matches_reference(self, name, rng):
+        adj = gnp(120, 0.08, seed=5)
+        with use_backend(name):
+            backend = get_backend()
+            for masks in _mask_grid(adj, rng):
+                counts = backend.neighbor_counts_batch(adj, masks)
+                assert counts.dtype == np.int64
+                assert np.array_equal(counts, _reference_counts(adj, masks))
+
+    def test_serial_matches_reference(self, name, rng):
+        adj = gnp(90, 0.1, seed=6)
+        mask = rng.random(adj.n) < 0.3
+        with use_backend(name):
+            counts = get_backend().neighbor_counts(adj, mask)
+        assert np.array_equal(counts, adj.matrix().dot(mask.astype(np.int64)))
+
+    def test_adjacency_dispatches_through_backend(self, name, rng):
+        adj = gnp(60, 0.15, seed=7)
+        masks = rng.random((adj.n, 4)) < 0.2
+        baseline = adj.neighbor_counts_batch(masks)
+        with use_backend(name):
+            assert np.array_equal(adj.neighbor_counts_batch(masks), baseline)
+
+    def test_batch_emits_kernel_metrics(self, name, rng):
+        adj = gnp(50, 0.2, seed=8)
+        masks = rng.random((adj.n, 4)) < 0.2
+        registry = MetricsRegistry()
+        with use_backend(name), use_observer(Observer(registry, None)):
+            adj.neighbor_counts_batch(masks)
+        calls = {
+            key: value
+            for key, value in registry.counters().items()
+            if key[0] == "kernel.batch_calls"
+        }
+        assert sum(calls.values()) == 1
+        (label,) = [label for (_, label) in calls]
+        assert label.startswith(f"{name}:")
+        hist = registry.histogram("kernel.batch_wall_s", label=name)
+        assert hist is not None and hist.count == 1
+
+
+crossover_scenario = st.tuples(
+    st.integers(min_value=2, max_value=40),  # n
+    st.floats(min_value=0.0, max_value=0.6),  # p
+    st.integers(min_value=0, max_value=10_000),  # graph seed
+    st.integers(min_value=0, max_value=10_000),  # mask seed
+    st.floats(min_value=0.0, max_value=1.0),  # transmit density
+    st.integers(min_value=1, max_value=9),  # repetitions
+)
+
+
+class TestCrossoverEquivalence:
+    """Scatter and matmul are interchangeable: forcing either side of
+    the crossover yields exactly equal counts on arbitrary inputs."""
+
+    @given(crossover_scenario)
+    @settings(max_examples=80, deadline=None)
+    def test_both_paths_exactly_equal(self, params):
+        n, p, gseed, mseed, density, reps = params
+        adj = gnp(n, p, seed=gseed)
+        masks = np.random.default_rng(mseed).random((n, reps)) < density
+
+        # The crossover picks matmul when work * scatter_cost >= nnz * R,
+        # so a huge cost forces matmul and a zero cost forces scatter
+        # (whenever there is any work / any structure to compare).
+        always_matmul = NumpyBackend()
+        always_matmul._scatter_cost = 1e18
+        always_scatter = NumpyBackend()
+        always_scatter._scatter_cost = 0.0
+
+        via_matmul = always_matmul.neighbor_counts_batch(adj, masks)
+        via_scatter = always_scatter.neighbor_counts_batch(adj, masks)
+        assert via_matmul.dtype == via_scatter.dtype == np.int64
+        assert np.array_equal(via_matmul, via_scatter)
+        work = int(adj.degrees[masks.any(axis=1)].sum())
+        if work:
+            assert always_matmul._last_path == "matmul"
+        if adj.indices.size:
+            assert always_scatter._last_path == "scatter"
+
+
+class TestMatmulBuffer:
+    def test_dense_buffer_reused_across_rounds(self, rng):
+        adj = gnp(80, 0.2, seed=9)
+        backend = NumpyBackend()
+        backend._scatter_cost = 1e18  # force the matmul path
+        masks = rng.random((adj.n, 6)) < 0.5
+        assert adj._dense_buf is None
+        first = backend.neighbor_counts_batch(adj, masks)
+        buf = adj._dense_buf
+        assert buf is not None and buf.size >= masks.size
+        second = backend.neighbor_counts_batch(adj, masks)
+        assert adj._dense_buf is buf  # no per-round reallocation
+        assert np.array_equal(first, second)
+
+    def test_conforming_input_skips_the_buffer(self, rng):
+        adj = gnp(40, 0.3, seed=10)
+        backend = NumpyBackend()
+        backend._scatter_cost = 1e18
+        dense = np.ascontiguousarray(
+            (rng.random((adj.n, 3)) < 0.5).astype(np.int64)
+        )
+        counts = backend.neighbor_counts_batch(adj, dense)
+        assert adj._dense_buf is None
+        assert np.array_equal(counts, _reference_counts(adj, dense != 0))
+
+
+class TestCalibration:
+    def test_calibrate_is_one_shot(self):
+        backend = NumpyBackend()
+        first = backend.calibrate()
+        lo, hi = numpy_backend_module._SCATTER_COST_BOUNDS
+        assert lo <= first <= hi
+        assert backend.calibrate() == first  # cached, not re-measured
+        assert backend.scatter_cost == first
+
+    def test_env_override_skips_measurement(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCATTER_COST", "4")
+        backend = NumpyBackend()
+        assert backend.calibrate() == 4.0
+
+    def test_env_override_is_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCATTER_COST", "1e9")
+        assert NumpyBackend().calibrate() == numpy_backend_module._SCATTER_COST_BOUNDS[1]
+
+    def test_env_override_bad_value_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCATTER_COST", "not-a-float")
+        backend = NumpyBackend()
+        assert backend.calibrate() == numpy_backend_module._DEFAULT_SCATTER_COST
+
+    def test_calibration_does_not_change_counts(self, rng):
+        adj = gnp(70, 0.15, seed=11)
+        masks = rng.random((adj.n, 5)) < 0.1
+        cheap, dear = NumpyBackend(), NumpyBackend()
+        cheap._scatter_cost = 1.0
+        dear._scatter_cost = 32.0
+        assert np.array_equal(
+            cheap.neighbor_counts_batch(adj, masks),
+            dear.neighbor_counts_batch(adj, masks),
+        )

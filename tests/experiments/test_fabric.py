@@ -293,14 +293,20 @@ class TestLoopbackFabric:
 
     def test_partitioned_worker_leases_revoked(self, tmp_path):
         """A partition window mutes heartbeats too; the coordinator
-        declares the worker lost and requeues its leases."""
+        declares the worker lost and requeues its leases.
+
+        The partition triggers on worker 0's *first* result send — a
+        later trigger is racy: with tiny tasks the other worker can
+        drain the queue before worker 0 earns a second lease, and the
+        fault would never fire.
+        """
         reference = serial_reference(8, tmp_path / "serial", seed=11)
         spec = save_net_chaos(
             tmp_path / "w0.json",
             tmp_path / "w0-state",
             [
                 NetFault(
-                    kind="result", action="partition", after=1, count=1,
+                    kind="result", action="partition", after=0, count=1,
                     seconds=3.0,
                 )
             ],
@@ -565,6 +571,15 @@ class TestAcceptance:
             assert isinstance(outcome, TaskOutcome)
             assert outcome.status == TASK_OK
             assert outcome.attempts >= 1
-        # The crash surfaced in the accounting, not in the results.
-        assert outcomes[4].attempts == 2
-        assert outcomes[4].lost_leases >= 1
+        # The crash surfaced in the accounting, not in the results: t4
+        # crashed exactly once (only attempt 1 is scheduled to crash)
+        # and then re-executed successfully.  How many executions the
+        # counter shows races with the halt: the crash and rerun may
+        # land either side of the restart, and a rerun completing after
+        # halt_after fires is lost with the unflushed checkpoint and
+        # legitimately re-executed on resume — so 2 or 3 total, never 1
+        # (an unsurfaced crash) and never more (a re-run of
+        # checkpointed work).
+        assert 2 <= attempt_count(state, "t4") <= 3
+        if outcomes[4].attempts == 2:
+            assert outcomes[4].lost_leases >= 1

@@ -26,6 +26,7 @@ from repro import (
     simulate,
     use_observer,
 )
+from repro.backends import current_backend_name
 from repro.faults import FaultPlan, LossyLinkModel
 from repro.gossip import run_gossip_batch, simulate_gossip
 from repro.obs.sinks import validate_event
@@ -148,6 +149,7 @@ class TestEventStream:
         events = obs.sink.events
         kinds = [event["kind"] for event in events]
         assert kinds[0] == "batch-start"
+        assert events[0]["backend"] == current_backend_name()
         assert kinds[-1] == "batch-end"
         assert kinds.count("batch-round") == result.num_rounds
         for event in events:

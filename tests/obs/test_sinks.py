@@ -60,6 +60,7 @@ class TestValidateEvent:
                 "kind": "batch-start",
                 "run": 0,
                 "engine": "broadcast-batch",
+                "backend": "numpy",
                 "n": 64,
                 "repetitions": 32,
                 "max_rounds": 400,

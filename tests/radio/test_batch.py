@@ -11,6 +11,7 @@ scalar ``transmit_mask`` — it advertises ``supports_batch = False``, so
 import numpy as np
 import pytest
 
+from repro.backends import available_backend_names, use_backend
 from repro.broadcast.distributed.decay import DecayProtocol
 from repro.broadcast.distributed.eg_randomized import EGRandomizedProtocol
 from repro.broadcast.distributed.uniform import UniformProtocol
@@ -50,6 +51,15 @@ PROTOCOLS = [
 
 
 class TestBatchSerialEquivalence:
+    """Batch ≡ serial, on every available kernel backend: the batched
+    engine's counts — and therefore its draws and completion rounds —
+    must not depend on which backend computed them."""
+
+    @pytest.fixture(autouse=True, params=available_backend_names())
+    def _backend(self, request):
+        with use_backend(request.param):
+            yield request.param
+
     @pytest.mark.parametrize("factory", PROTOCOLS)
     def test_completion_rounds_identical(self, medium, factory):
         net, p = medium

@@ -19,6 +19,7 @@ import hashlib
 import numpy as np
 import pytest
 
+from repro.backends import available_backend_names, use_backend
 from repro.broadcast.distributed import DecayProtocol, UniformProtocol
 from repro.errors import BroadcastIncompleteError, InvalidParameterError
 from repro.faults import (
@@ -80,7 +81,18 @@ def net48():
 
 
 class TestGoldenTraces:
-    """Digests captured from the pre-refactor bespoke round loops."""
+    """Digests captured from the pre-refactor bespoke round loops.
+
+    Parameterized over every *available* kernel backend: the digests are
+    backend-invariant (identical integer neighbour counts mean identical
+    RNG consumption and trajectories), so a compiled backend that flips
+    one of these digests is a backend bug, not a new golden value.
+    """
+
+    @pytest.fixture(autouse=True, params=available_backend_names())
+    def _backend(self, request):
+        with use_backend(request.param):
+            yield request.param
 
     def test_gossip_uniform(self, net48):
         trace = simulate_gossip(net48, UniformProtocol(0.1), seed=6)

@@ -126,6 +126,29 @@ class TestSimulate:
         assert unified.records == legacy.records
         assert isinstance(unified, repro.SimulationResult)
 
+    def test_backend_kwarg_is_result_invariant(self, net, protocol):
+        default = repro.simulate("broadcast", net, protocol=protocol, seed=11)
+        from repro.backends import available_backend_names
+
+        for name in available_backend_names():
+            picked = repro.simulate(
+                "broadcast", net, protocol=protocol, seed=11, backend=name
+            )
+            assert picked.records == default.records
+
+    def test_backend_kwarg_scope_is_the_call(self, net, protocol):
+        from repro.backends import base as backends_base
+
+        before = backends_base._STATE.active
+        repro.simulate("broadcast", net, protocol=protocol, seed=11, backend="numpy")
+        assert backends_base._STATE.active is before  # not left installed
+
+    def test_backend_kwarg_unknown_name(self, net, protocol):
+        with pytest.raises(repro.InvalidParameterError, match="unknown kernel backend"):
+            repro.simulate(
+                "broadcast", net, protocol=protocol, seed=11, backend="nope"
+            )
+
     def test_gossip_matches_legacy(self, net, protocol):
         from repro.gossip import simulate_gossip
 

@@ -209,6 +209,12 @@ class TestSharedParents:
         args = build_parser().parse_args(command + ["--trace-out", "t.jsonl"])
         assert args.trace_out == "t.jsonl"
 
+    @pytest.mark.parametrize("command", [["run", "E4"], ["run-all"], ["profile", "E4"]])
+    def test_backend_flag(self, command):
+        assert build_parser().parse_args(command).backend is None
+        args = build_parser().parse_args(command + ["--backend", "numba"])
+        assert args.backend == "numba"
+
     def test_dynamics_only_flag(self):
         args = build_parser().parse_args(["dynamics", "--only", "push,gossip"])
         assert args.only == "push,gossip"
@@ -237,6 +243,60 @@ class TestProfile:
     def test_profile_rejects_bad_jobs(self, capsys):
         assert main(["profile", "E7", "--jobs", "0"]) == 2
         assert "--jobs must be >= 1" in capsys.readouterr().err
+
+
+class TestBackends:
+    @pytest.fixture(autouse=True)
+    def _clean_selection(self, monkeypatch):
+        """``--backend`` installs process/env state; undo it per test."""
+        from repro.backends import BACKEND_ENV_VAR, set_backend
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        yield
+        set_backend(None)
+
+    def test_backends_lists_registry_with_probes(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("numpy", "numba", "cupy"):
+            assert name in out
+        assert "available" in out
+        assert "active: numpy" in out
+        assert "scatter-cost" in out
+
+    def test_run_with_numpy_backend(self, capsys):
+        assert main(["run", "E4", "--backend", "numpy", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy backend" in out
+
+    def test_run_unknown_backend_exits_2(self, capsys):
+        assert main(["run", "E4", "--backend", "nope"]) == 2
+        assert "unknown kernel backend" in capsys.readouterr().err
+
+    def test_run_unavailable_backend_exits_2(self, capsys):
+        from repro.backends import probe_backends
+
+        unavailable = [p.name for p in probe_backends() if not p.available]
+        if not unavailable:
+            pytest.skip("every registered backend is available here")
+        assert main(["run", "E4", "--backend", unavailable[0]]) == 2
+        assert "not available" in capsys.readouterr().err
+
+    def test_backend_flag_exports_env_for_workers(self, capsys, monkeypatch):
+        import os
+
+        from repro.backends import BACKEND_ENV_VAR
+
+        assert main(["run", "E4", "--backend", "numpy", "--seed", "1"]) == 0
+        assert os.environ.get(BACKEND_ENV_VAR) == "numpy"
+
+    def test_profile_reports_backend_and_kernel_metrics(self, capsys):
+        # E4 runs the batched broadcast engine, so the profile must show
+        # the kernel dispatch counters the backend emits.
+        assert main(["profile", "E4", "--seed", "3", "--backend", "numpy"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy backend" in out
+        assert "kernel.batch_calls{numpy" in out
 
 
 class TestTraceOut:
