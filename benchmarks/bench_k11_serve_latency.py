@@ -1,0 +1,158 @@
+"""K11 — engineering: job-server request latency, cache-hit vs cold.
+
+Measures the full front-door path — HTTP request framing, spec
+canonicalisation, cache lookup, execution, response — against a real
+loopback server, separating:
+
+* **cold** submissions (unique seeds: every request executes), and
+* **warm** resubmissions of one spec (every request is a content-address
+  cache hit: no execution, the stored document is replayed).
+
+The gap between the two is what the content-addressed cache buys; the
+warm latency is the floor cost of the service layer itself (parse +
+hash + disk read + serialise).  Correctness is asserted inline: warm
+responses must be byte-identical to the cold response for the same spec
+and must not add executions.
+
+Also runnable as a script for the CI artifact::
+
+    PYTHONPATH=src python benchmarks/bench_k11_serve_latency.py --quick \\
+        --out BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.schema import canonical_json
+from repro.serve import Client, JobManager, JobSpec, Server
+
+GRAPH = {"n": 60, "p": 0.15, "seed": 1}
+
+
+def make_spec(seed: int) -> JobSpec:
+    return JobSpec(
+        process="broadcast",
+        graph=dict(GRAPH),
+        params={"protocol": {"kind": "decay"}},
+        seed=seed,
+        max_rounds=400,
+    )
+
+
+class LoopbackServer:
+    """A real HTTP job server on an ephemeral loopback port."""
+
+    def __init__(self, cache_dir):
+        self.manager = JobManager(cache=cache_dir, workers=2)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, daemon=True
+        )
+        self._thread.start()
+        self.server = Server(manager=self.manager)
+        asyncio.run_coroutine_threadsafe(
+            self.server.start(), self._loop
+        ).result(10)
+        self.address = self.server.address
+
+    def close(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.server.close(), self._loop
+        ).result(10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self.manager.shutdown()
+
+
+def _percentiles(samples: list[float]) -> dict:
+    arr = np.asarray(samples)
+    return {
+        "count": int(arr.size),
+        "p50_ms": float(np.percentile(arr, 50) * 1e3),
+        "p95_ms": float(np.percentile(arr, 95) * 1e3),
+        "mean_ms": float(arr.mean() * 1e3),
+    }
+
+
+def run_bench(*, quick: bool = True) -> dict:
+    cold_n = 10 if quick else 40
+    warm_n = 30 if quick else 200
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        loopback = LoopbackServer(tmp + "/cache")
+        try:
+            client = Client(loopback.address)
+            # Cold: unique seeds, every request executes.
+            cold_samples = []
+            for seed in range(cold_n):
+                start = time.perf_counter()
+                status = client.submit(make_spec(1000 + seed))
+                cold_samples.append(time.perf_counter() - start)
+                assert status.ok and status.cache == "miss"
+            executions_after_cold = loopback.manager.num_executions
+            assert executions_after_cold == cold_n
+            # Warm: one spec resubmitted; every request is a cache hit
+            # returning the byte-identical document.
+            reference = client.submit(make_spec(1000)).result
+            warm_samples = []
+            for _ in range(warm_n):
+                start = time.perf_counter()
+                status = client.submit(make_spec(1000))
+                warm_samples.append(time.perf_counter() - start)
+                assert status.cache == "hit"
+                assert canonical_json(status.result) == canonical_json(
+                    reference
+                )
+            assert loopback.manager.num_executions == executions_after_cold
+            hits = loopback.manager.registry.counter_value("serve.cache.hits")
+            cold = _percentiles(cold_samples)
+            warm = _percentiles(warm_samples)
+            return {
+                "bench": "serve_latency",
+                "mode": "quick" if quick else "full",
+                "graph": GRAPH,
+                "cold": cold,
+                "warm": warm,
+                "cache_hits": int(hits),
+                "executions": int(loopback.manager.num_executions),
+                "speedup_p50": cold["p50_ms"] / max(warm["p50_ms"], 1e-9),
+            }
+        finally:
+            loopback.close()
+
+
+class TestServeLatency:
+    def test_warm_requests_skip_execution(self):
+        report = run_bench(quick=True)
+        # The reference resubmit is itself a hit, so executions == cold.
+        assert report["executions"] == report["cold"]["count"]
+        assert report["cache_hits"] >= report["warm"]["count"]
+        assert report["warm"]["p50_ms"] > 0
+        assert report["cold"]["p50_ms"] > 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", default=None, metavar="PATH")
+    args = parser.parse_args()
+    report = run_bench(quick=args.quick)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -81,6 +81,8 @@ from .radio import (
     verify_schedule,
 )
 from .api import SimulationResult, available_dynamics, simulate
+from .schema import RESULT_SCHEMA_VERSION, result_from_dict
+from .serve import Client, JobSpec, JobStatus, SweepSpec, serve_forever
 
 __version__ = "1.0.0"
 
@@ -136,6 +138,15 @@ __all__ = [
     "simulate",
     "SimulationResult",
     "available_dynamics",
+    # result wire schema
+    "RESULT_SCHEMA_VERSION",
+    "result_from_dict",
+    # simulation-as-a-service front door
+    "Client",
+    "JobSpec",
+    "JobStatus",
+    "SweepSpec",
+    "serve_forever",
     # observability
     "Observer",
     "MetricsRegistry",

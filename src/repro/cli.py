@@ -8,9 +8,12 @@ Usage::
     python -m repro run E4 --full --seed 7
     python -m repro run E14 --checkpoint ckpt/ --resume
     python -m repro run E4 --trace-out e4.jsonl
+    python -m repro run E4 --json > e4.json
     python -m repro run-all --quick --out results.md
     python -m repro run-all --fabric 127.0.0.1:0 --workers 4
     python -m repro worker --connect 127.0.0.1:7777
+    python -m repro serve --port 8642 --cache cache/
+    python -m repro submit --experiments E1,E2 --server http://127.0.0.1:8642
     python -m repro profile E7 --seed 3
     python -m repro backends
     python -m repro run E4 --backend numba
@@ -192,6 +195,21 @@ def _backend_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _json_parent() -> argparse.ArgumentParser:
+    """Shared ``--json`` declaration (run / run-all)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit the result as a schema-versioned JSON document instead "
+            "of a table — the exact wire schema the job server returns "
+            "and the result cache stores (see docs/SERVICE.md)"
+        ),
+    )
+    return parent
+
+
 def _only_parent() -> argparse.ArgumentParser:
     """Shared ``--only`` declaration (run-all / dynamics)."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -217,7 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     seed, mode, render = _seed_parent(), _mode_parent(), _render_parent()
     sweep, trace, only = _sweep_parent(), _trace_parent(), _only_parent()
-    backend = _backend_parent()
+    backend, as_json = _backend_parent(), _json_parent()
 
     sub.add_parser("list", help="list catalogued experiments")
 
@@ -237,7 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser(
         "run",
-        parents=[seed, mode, render, sweep, trace, backend],
+        parents=[seed, mode, render, sweep, trace, backend, as_json],
         help="run one experiment and print its table",
     )
     p_run.add_argument("experiment", help="experiment id, e.g. E4")
@@ -245,7 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_all = sub.add_parser(
         "run-all",
-        parents=[seed, mode, render, sweep, trace, only, backend],
+        parents=[seed, mode, render, sweep, trace, only, backend, as_json],
         help="run every experiment in catalog order",
     )
     p_all.add_argument("--out", default=None, help="also write the report to this file")
@@ -287,6 +305,101 @@ def build_parser() -> argparse.ArgumentParser:
             "JSON network-fault schedule (repro.experiments.chaos."
             "save_net_chaos) applied to this worker's sends; test-only"
         ),
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        parents=[trace],
+        help=(
+            "run the simulation job server (POST /v1/simulate, "
+            "POST /v1/sweeps; see docs/SERVICE.md)"
+        ),
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="listen port; 0 picks a free port (default: 8642)",
+    )
+    p_serve.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed result cache directory; omit to serve "
+            "without a cache (every request executes)"
+        ),
+    )
+    p_serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent job executions (default: 2)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        metavar="N",
+        help=(
+            "admission bound on queued-or-running jobs; beyond it new "
+            "submissions get HTTP 429 (default: 256)"
+        ),
+    )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a job to a running server and print its status JSON",
+    )
+    p_submit.add_argument(
+        "--server",
+        default="http://127.0.0.1:8642",
+        metavar="URL",
+        help="job-server address (default: http://127.0.0.1:8642)",
+    )
+    p_submit.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON spec file ('-' for stdin): a simulate spec or a sweep "
+            "spec (one with an 'experiments' field)"
+        ),
+    )
+    p_submit.add_argument(
+        "--experiments",
+        default=None,
+        metavar="IDS",
+        help="comma-separated experiment ids to submit as a sweep spec",
+    )
+    p_submit.add_argument(
+        "--seed", type=int, default=0, help="sweep root seed (with --experiments)"
+    )
+    p_submit.add_argument(
+        "--full",
+        action="store_true",
+        help="full-size sweep (with --experiments)",
+    )
+    p_submit.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="server-side sweep workers (latency hint; not part of the cache key)",
+    )
+    p_submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return the queued status immediately instead of waiting",
+    )
+    p_submit.add_argument(
+        "--events",
+        action="store_true",
+        help="after submitting, stream the job's NDJSON trace events to stdout",
     )
     return parser
 
@@ -477,6 +590,75 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
 
+    if args.command == "serve":
+        from .serve import serve_forever
+
+        obs = _make_observer(args)
+
+        def _ready(server) -> None:
+            print(f"serving on {server.address}", flush=True)
+
+        try:
+            serve_forever(
+                args.host,
+                args.port,
+                cache=args.cache,
+                workers=args.serve_workers,
+                max_pending=args.max_pending,
+                obs=obs,
+                ready=_ready,
+            )
+        except OSError as exc:
+            print(
+                f"serve: cannot bind {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        finally:
+            _finish_observer(obs, args.trace_out)
+        return 0
+
+    if args.command == "submit":
+        import json
+
+        from .errors import ReproError
+        from .serve import Client, SweepSpec, spec_from_dict
+
+        if (args.spec is None) == (args.experiments is None):
+            print(
+                "submit needs exactly one of --spec or --experiments",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            if args.spec is not None:
+                text = (
+                    sys.stdin.read()
+                    if args.spec == "-"
+                    else open(args.spec).read()
+                )
+                spec = spec_from_dict(json.loads(text))
+            else:
+                spec = SweepSpec(
+                    experiments=tuple(
+                        token for token in args.experiments.split(",") if token
+                    ),
+                    quick=not args.full,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                )
+            client = Client(args.server)
+            status = client.submit(spec, wait=not args.no_wait)
+            if args.events:
+                for event in client.events(status.id):
+                    print(json.dumps(event, separators=(",", ":")))
+                status = client.job(status.id)
+        except (ReproError, OSError, ValueError) as exc:
+            print(f"submit: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(status.to_dict(), indent=2, sort_keys=True))
+        return 1 if status.state == "failed" else 0
+
     if args.command == "run":
         error = _sweep_flag_error(args) or _select_backend(args)
         if error:
@@ -505,11 +687,20 @@ def main(argv: list[str] | None = None) -> int:
         _finish_observer(obs, args.trace_out)
         from .backends import current_backend_name
 
-        print(_render(result, args.markdown))
-        print(
-            f"\n({'full' if args.full else 'quick'} mode, "
-            f"{current_backend_name()} backend, {elapsed:.1f}s)"
-        )
+        if args.json:
+            # The pinned wire document (docs/SERVICE.md): canonical bytes,
+            # identical to what the job server returns and caches — so
+            # stdout can be piped, diffed or hashed.
+            from .io import result_wire
+            from .schema import canonical_json
+
+            print(canonical_json(result_wire(result)))
+        else:
+            print(_render(result, args.markdown))
+            print(
+                f"\n({'full' if args.full else 'quick'} mode, "
+                f"{current_backend_name()} backend, {elapsed:.1f}s)"
+            )
         if args.out:
             from .io import save_result
 
@@ -529,7 +720,11 @@ def main(argv: list[str] | None = None) -> int:
         obs = _make_observer(args)
         chunks = []
         failed = 0
-        if args.jobs is not None or args.fabric is not None:
+        # --json always routes through the supervised executor: its
+        # outcome records are the sweep wire document, and its child-seed
+        # derivation is what the job server uses — so the printed JSON
+        # matches a POST /v1/sweeps byte for byte.
+        if args.jobs is not None or args.fabric is not None or args.json:
             from .experiments import outcomes_table
 
             start = time.perf_counter()
@@ -556,7 +751,7 @@ def main(argv: list[str] | None = None) -> int:
                             [spec.experiment_id for spec in specs],
                             quick=not args.full,
                             seed=args.seed,
-                            jobs=args.jobs,
+                            jobs=args.jobs if args.jobs is not None else 1,
                             checkpoint=args.checkpoint,
                             resume=args.resume,
                             task_timeout=args.task_timeout,
@@ -574,32 +769,39 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 return 130
             elapsed = time.perf_counter() - start
-            # A poisoned experiment is reported and skipped, not fatal:
-            # the healthy tables print, the summary names the casualty.
-            for outcome in outcomes:
-                if outcome.ok:
-                    chunk = _render(outcome.result, args.markdown)
-                    print(chunk)
-                    print()
-                    chunks.append(chunk)
-                else:
-                    failed += 1
-            from .backends import current_backend_name
+            failed = sum(1 for outcome in outcomes if not outcome.ok)
+            if args.json:
+                from .experiments.parallel import outcomes_payload
+                from .schema import canonical_json
 
-            print(outcomes_table(outcomes))
-            executor = (
-                f"--fabric {args.fabric} --workers {args.workers}"
-                if args.fabric is not None
-                else f"--jobs {args.jobs}"
-            )
-            print(
-                f"({len(outcomes)} experiments, {executor}, "
-                f"{current_backend_name()} backend, {elapsed:.1f}s)"
-            )
+                chunk = canonical_json(outcomes_payload(outcomes))
+                print(chunk)
+                chunks.append(chunk)
+            else:
+                # A poisoned experiment is reported and skipped, not
+                # fatal: the healthy tables print, the summary names the
+                # casualty.
+                for outcome in outcomes:
+                    if outcome.ok:
+                        chunk = _render(outcome.result, args.markdown)
+                        print(chunk)
+                        print()
+                        chunks.append(chunk)
+                from .backends import current_backend_name
+
+                print(outcomes_table(outcomes))
+                executor = (
+                    f"--fabric {args.fabric} --workers {args.workers}"
+                    if args.fabric is not None
+                    else f"--jobs {args.jobs if args.jobs is not None else 1}"
+                )
+                print(
+                    f"({len(outcomes)} experiments, {executor}, "
+                    f"{current_backend_name()} backend, {elapsed:.1f}s)"
+                )
             if failed:
                 print(
-                    f"{failed} experiment(s) did not complete; see the "
-                    "summary table above",
+                    f"{failed} experiment(s) did not complete",
                     file=sys.stderr,
                 )
         else:

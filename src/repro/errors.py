@@ -21,6 +21,8 @@ __all__ = [
     "CoordinatorHalted",
     "BackendError",
     "BackendUnavailableError",
+    "ServeError",
+    "JobQueueFullError",
 ]
 
 
@@ -76,6 +78,20 @@ class BackendUnavailableError(BackendError):
     probe fails — numba/cupy not installed, or no CUDA device.  The
     implicit ``REPRO_BACKEND`` environment selection degrades to the
     numpy backend with a :class:`RuntimeWarning` instead of raising.
+    """
+
+
+class ServeError(ReproError):
+    """The simulation job server could not accept or serve a request."""
+
+
+class JobQueueFullError(ServeError):
+    """The job manager's admission bound is exhausted.
+
+    The worker bridge is deliberately bounded (``max_pending``): beyond
+    it, new work is refused (HTTP 429) instead of queued without limit,
+    so an overloaded server degrades by shedding load rather than by
+    growing an unserviceable backlog.
     """
 
 

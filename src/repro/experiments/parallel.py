@@ -61,6 +61,7 @@ __all__ = [
     "run_catalog_supervised",
     "run_catalog_fabric",
     "child_seed_int",
+    "outcomes_payload",
 ]
 
 
@@ -285,6 +286,35 @@ def run_catalog_fabric(
         checkpoint=_catalog_checkpoint(checkpoint, experiment_ids, quick, seed),
         resume=resume,
     )
+
+
+def outcomes_payload(outcomes: Sequence[TaskOutcome]) -> dict:
+    """A catalog sweep's outcomes in the pinned wire schema.
+
+    The JSON document shared by ``repro run-all --json`` and the job
+    server's ``POST /v1/sweeps`` responses.  Only the *deterministic*
+    outcome fields appear — wall-clock ``elapsed`` and executor ``host``
+    attribution are dropped — so the document is a pure function of
+    ``(experiment_ids, quick, seed)`` and therefore content-addressable:
+    a cold sweep and a cached replay serialise to identical bytes.
+    """
+    from ..io import result_wire
+    from ..schema import RESULT_SCHEMA_VERSION
+
+    return {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "kind": "experiment-sweep",
+        "outcomes": [
+            {
+                "key": outcome.key,
+                "status": outcome.status,
+                "attempts": outcome.attempts,
+                "error": outcome.error,
+                "result": result_wire(outcome.result) if outcome.ok else None,
+            }
+            for outcome in outcomes
+        ],
+    }
 
 
 def run_catalog_parallel(

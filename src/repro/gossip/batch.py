@@ -23,7 +23,6 @@ accordingly.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -109,16 +108,6 @@ class BatchGossipResult:
         """Number of trials that completed within the budget."""
         return int(np.count_nonzero(self.completed_mask))
 
-    @property
-    def rounds_executed(self) -> int:
-        """Deprecated alias for :attr:`num_rounds`."""
-        warnings.warn(
-            "BatchGossipResult.rounds_executed is deprecated; use num_rounds",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.num_rounds
-
     def _stats(self, what: str):
         value = getattr(self, what)
         if value is None:
@@ -163,6 +152,70 @@ class BatchGossipResult:
             "completed": self.completed,
             "num_completed": self.num_completed,
         }
+
+    def to_dict(self) -> dict:
+        """The batch result as a schema-versioned plain-JSON document.
+
+        Non-finite rounds (budget misses, never-observed first-complete
+        rounds) serialise as ``null``; :meth:`from_dict` restores them.
+        """
+        from ..schema import RESULT_SCHEMA_VERSION, encode_curve
+
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "kind": "batch-gossip",
+            "n": self.n,
+            "num_tokens": self.num_tokens,
+            "num_rounds": self.num_rounds,
+            "completion_rounds": encode_curve(self.completion_rounds),
+            "knowledge_fractions": [float(v) for v in self.knowledge_fractions],
+            "first_complete_rounds": (
+                None
+                if self.first_complete_rounds is None
+                else encode_curve(self.first_complete_rounds)
+            ),
+            "transmissions_per_round": (
+                None
+                if self.transmissions_per_round is None
+                else self.transmissions_per_round.tolist()
+            ),
+            "collisions_per_round": (
+                None
+                if self.collisions_per_round is None
+                else self.collisions_per_round.tolist()
+            ),
+            "complete_node_totals": (
+                None
+                if self.complete_node_totals is None
+                else self.complete_node_totals.tolist()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BatchGossipResult":
+        """Rebuild a batch result from its :meth:`to_dict` document."""
+        from ..schema import check_schema_version, decode_curve
+
+        check_schema_version(payload, what="batch-gossip")
+
+        def _int_array(key):
+            value = payload.get(key)
+            return None if value is None else np.array(value, dtype=np.int64)
+
+        first = payload.get("first_complete_rounds")
+        return cls(
+            n=payload["n"],
+            num_tokens=payload["num_tokens"],
+            completion_rounds=decode_curve(payload["completion_rounds"]),
+            knowledge_fractions=np.array(
+                payload["knowledge_fractions"], dtype=np.float64
+            ),
+            first_complete_rounds=None if first is None else decode_curve(first),
+            num_rounds=payload["num_rounds"],
+            transmissions_per_round=_int_array("transmissions_per_round"),
+            collisions_per_round=_int_array("collisions_per_round"),
+            complete_node_totals=_int_array("complete_node_totals"),
+        )
 
 
 def _run_knowledge_batch(

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._typing import IntArray
+from ..schema import RESULT_SCHEMA_VERSION, check_schema_version
 
 __all__ = ["GossipRoundRecord", "GossipTrace"]
 
@@ -128,6 +129,63 @@ class GossipTrace:
             "completed": self.completed,
             "pairs_known": int(self.records[-1].pairs_known) if self.records else self.n,
         }
+
+    def to_dict(self) -> dict:
+        """The trace as a schema-versioned plain-JSON document.
+
+        The pinned wire form shared by ``repro run --json``, the result
+        cache and the job server (see :mod:`repro.schema`);
+        :meth:`from_dict` is the exact inverse.
+        """
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "kind": "gossip-trace",
+            "n": self.n,
+            "num_tokens": self.num_tokens,
+            "initial_nodes_complete": self.initial_nodes_complete,
+            "records": [
+                {
+                    "t": r.round_index,
+                    "transmitters": r.num_transmitters,
+                    "receivers": r.num_receivers,
+                    "pairs_known": r.pairs_known,
+                    "min_knowledge": r.min_knowledge,
+                    "nodes_complete": r.nodes_complete,
+                }
+                for r in self.records
+            ],
+            "knowledge_counts": (
+                None
+                if self.knowledge_counts is None
+                else self.knowledge_counts.tolist()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GossipTrace":
+        """Rebuild a trace from its :meth:`to_dict` document."""
+        check_schema_version(payload, what="gossip-trace")
+        records = [
+            GossipRoundRecord(
+                round_index=r["t"],
+                num_transmitters=r["transmitters"],
+                num_receivers=r["receivers"],
+                pairs_known=r["pairs_known"],
+                min_knowledge=r["min_knowledge"],
+                nodes_complete=r["nodes_complete"],
+            )
+            for r in payload["records"]
+        ]
+        counts = payload.get("knowledge_counts")
+        return cls(
+            n=payload["n"],
+            records=records,
+            knowledge_counts=(
+                None if counts is None else np.array(counts, dtype=np.int64)
+            ),
+            num_tokens=payload.get("num_tokens"),
+            initial_nodes_complete=payload.get("initial_nodes_complete", 0),
+        )
 
     def __repr__(self) -> str:
         status = "complete" if self.completed else "incomplete"

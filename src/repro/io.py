@@ -34,6 +34,8 @@ __all__ = [
     "load_result",
     "result_to_payload",
     "result_from_payload",
+    "result_wire",
+    "result_from_wire",
 ]
 
 
@@ -146,6 +148,36 @@ def result_from_payload(payload: dict) -> ExperimentResult:
             feature_name=fit.get("feature_name", "x"),
         )
     return result
+
+
+def result_wire(result: ExperimentResult) -> dict:
+    """An experiment result in the pinned wire schema.
+
+    The :func:`result_to_payload` document wrapped in the shared
+    schema-versioned envelope (:mod:`repro.schema`) — exactly what
+    ``repro run --json`` prints and the job server's sweep payloads
+    embed, so the two surfaces cannot drift apart.
+    """
+    from .schema import RESULT_SCHEMA_VERSION
+
+    return {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "kind": "experiment-result",
+        **result_to_payload(result),
+    }
+
+
+def result_from_wire(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its wire document."""
+    from .schema import check_schema_version
+
+    check_schema_version(payload, what="experiment-result")
+    if payload.get("kind") != "experiment-result":
+        raise ReproError(
+            f"expected an experiment-result document, got kind "
+            f"{payload.get('kind')!r}"
+        )
+    return result_from_payload(payload)
 
 
 def save_result(result: ExperimentResult, path: str | Path) -> Path:

@@ -37,6 +37,10 @@ full schema):
     (:mod:`repro.experiments.fabric`): worker membership, lease
     revocations and requeues, speculative steals, idempotent
     duplicate-result discards, and degradation to the local pool.
+``serve-job-start`` / ``serve-job-end``
+    job-server events from the simulation-as-a-service front door
+    (:mod:`repro.serve`), bracketing each job's teed engine events in
+    the ``GET /v1/jobs/{id}/events`` stream.
 
 :func:`validate_event` checks an event against this schema and is what
 the schema tests (and any external consumer) should use.
@@ -94,6 +98,11 @@ _REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     "fabric-degraded": ("remaining", "reason"),
     "fabric-halt": ("completed",),
     "fabric-end": ("tasks", "workers"),
+    # Job-server events from the simulation-as-a-service front door
+    # (repro.serve); bracket each job's teed engine events and are the
+    # first/last lines of `GET /v1/jobs/{id}/events`.  See docs/SERVICE.md.
+    "serve-job-start": ("job", "spec"),
+    "serve-job-end": ("job", "spec", "state", "wall_s"),
 }
 
 _INT_KEYS = frozenset(

@@ -18,7 +18,6 @@ zero-fault special case rather than a parallel code path.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -169,17 +168,6 @@ class BatchBroadcastResult:
         """Number of trials that completed within the budget."""
         return int(np.count_nonzero(self.completed_mask))
 
-    @property
-    def rounds_executed(self) -> int:
-        """Deprecated alias for :attr:`num_rounds`."""
-        warnings.warn(
-            "BatchBroadcastResult.rounds_executed is deprecated; "
-            "use num_rounds",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.num_rounds
-
     def _stats(self, what: str):
         value = getattr(self, what)
         if value is None:
@@ -223,6 +211,64 @@ class BatchBroadcastResult:
             "completed": self.completed,
             "num_completed": self.num_completed,
         }
+
+    def to_dict(self) -> dict:
+        """The batch result as a schema-versioned plain-JSON document.
+
+        Non-finite completion rounds (budget misses) serialise as
+        ``null`` — strict JSON has no ``Infinity`` — and
+        :meth:`from_dict` restores them.
+        """
+        from ..schema import RESULT_SCHEMA_VERSION, encode_curve
+
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "kind": "batch-broadcast",
+            "source": self.source,
+            "n": self.n,
+            "num_rounds": self.num_rounds,
+            "completion_rounds": encode_curve(self.completion_rounds),
+            "informed_fractions": [float(v) for v in self.informed_fractions],
+            "transmissions_per_round": (
+                None
+                if self.transmissions_per_round is None
+                else self.transmissions_per_round.tolist()
+            ),
+            "collisions_per_round": (
+                None
+                if self.collisions_per_round is None
+                else self.collisions_per_round.tolist()
+            ),
+            "informed_totals": (
+                None
+                if self.informed_totals is None
+                else self.informed_totals.tolist()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BatchBroadcastResult":
+        """Rebuild a batch result from its :meth:`to_dict` document."""
+        from ..schema import check_schema_version, decode_curve
+
+        check_schema_version(payload, what="batch-broadcast")
+
+        def _int_array(key):
+            value = payload.get(key)
+            return None if value is None else np.array(value, dtype=np.int64)
+
+        return cls(
+            source=payload["source"],
+            n=payload["n"],
+            completion_rounds=decode_curve(payload["completion_rounds"]),
+            informed_fractions=np.array(
+                payload["informed_fractions"], dtype=np.float64
+            ),
+            num_rounds=payload["num_rounds"],
+            transmissions_per_round=_int_array("transmissions_per_round"),
+            collisions_per_round=_int_array("collisions_per_round"),
+            informed_totals=_int_array("informed_totals"),
+        )
 
 
 def run_broadcast_batch(

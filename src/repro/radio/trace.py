@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._typing import BoolArray, IntArray
+from ..schema import RESULT_SCHEMA_VERSION, check_schema_version
 
 __all__ = ["RoundRecord", "BroadcastTrace"]
 
@@ -125,6 +126,75 @@ class BroadcastTrace:
             "transmissions": self.total_transmissions,
             "collisions": self.total_collisions,
         }
+
+    def to_dict(self) -> dict:
+        """The trace as a schema-versioned plain-JSON document.
+
+        The pinned wire form shared by ``repro run --json``, the result
+        cache and the job server (see :mod:`repro.schema`);
+        :meth:`from_dict` is the exact inverse.
+        """
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "kind": "broadcast-trace",
+            "source": self.source,
+            "n": self.n,
+            "records": [
+                {
+                    "t": r.round_index,
+                    "transmitters": r.num_transmitters,
+                    "new": r.num_new,
+                    "collided": r.num_collided,
+                    "informed_after": r.informed_after,
+                    "label": r.label,
+                }
+                for r in self.records
+            ],
+            "informed": (
+                None if self.informed is None else self.informed.astype(bool).tolist()
+            ),
+            "informed_round": (
+                None
+                if self.informed_round is None
+                else self.informed_round.tolist()
+            ),
+            "informer": (
+                None if self.informer is None else self.informer.tolist()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BroadcastTrace":
+        """Rebuild a trace from its :meth:`to_dict` document."""
+        check_schema_version(payload, what="broadcast-trace")
+        records = [
+            RoundRecord(
+                round_index=r["t"],
+                num_transmitters=r["transmitters"],
+                num_new=r["new"],
+                num_collided=r["collided"],
+                informed_after=r["informed_after"],
+                label=r.get("label", ""),
+            )
+            for r in payload["records"]
+        ]
+        informed = payload.get("informed")
+        informed_round = payload.get("informed_round")
+        informer = payload.get("informer")
+        return cls(
+            source=payload["source"],
+            n=payload["n"],
+            records=records,
+            informed=None if informed is None else np.array(informed, dtype=bool),
+            informed_round=(
+                None
+                if informed_round is None
+                else np.array(informed_round, dtype=np.int64)
+            ),
+            informer=(
+                None if informer is None else np.array(informer, dtype=np.int64)
+            ),
+        )
 
     def __repr__(self) -> str:
         status = "complete" if self.completed else f"{self.num_informed}/{self.n}"

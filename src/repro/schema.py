@@ -1,0 +1,122 @@
+"""The pinned result wire schema shared by the CLI, cache and server.
+
+Every result type that crosses a process or network boundary — the
+serial traces, the batched results and experiment tables — serialises to
+a flat JSON document stamped with :data:`RESULT_SCHEMA_VERSION` and a
+``kind`` discriminator.  The same bytes back the three surfaces that
+must never drift apart:
+
+* ``repro run --json`` / ``repro run-all --json`` (CLI),
+* the job server's result payloads (:mod:`repro.serve`),
+* the content-addressed result cache on disk.
+
+Producers bump :data:`RESULT_SCHEMA_VERSION` on any incompatible layout
+change; consumers refuse documents from a version they do not speak
+(:func:`check_schema_version`) instead of misreading them.
+
+:func:`result_from_dict` is the inverse front door: given any document
+produced by a result type's ``to_dict()``, it dispatches on ``kind`` and
+rebuilds the concrete result object.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .errors import ReproError
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "check_schema_version",
+    "encode_curve",
+    "decode_curve",
+    "result_from_dict",
+    "canonical_json",
+]
+
+#: Version stamped into every result document's ``schema_version`` field.
+RESULT_SCHEMA_VERSION = 1
+
+#: ``kind`` discriminators understood by :func:`result_from_dict`.
+RESULT_KINDS = (
+    "broadcast-trace",
+    "gossip-trace",
+    "batch-broadcast",
+    "batch-gossip",
+)
+
+
+def check_schema_version(payload: dict, *, what: str = "result") -> None:
+    """Raise :class:`~repro.errors.ReproError` on a version we don't speak."""
+    version = payload.get("schema_version")
+    if version != RESULT_SCHEMA_VERSION:
+        raise ReproError(
+            f"{what} document has schema_version {version!r}; "
+            f"this build speaks version {RESULT_SCHEMA_VERSION}"
+        )
+
+
+def encode_curve(values) -> list:
+    """A float array as a JSON list, with non-finite entries as ``null``.
+
+    Strict JSON has no ``Infinity``; batch completion rounds use ``inf``
+    for budget misses, which round-trips as ``null`` on the wire.
+    """
+    import math
+
+    return [float(v) if math.isfinite(v) else None for v in values]
+
+
+def decode_curve(values):
+    """Inverse of :func:`encode_curve` (``null`` becomes ``inf``)."""
+    import numpy as np
+
+    return np.array(
+        [np.inf if v is None else v for v in values], dtype=np.float64
+    )
+
+
+def canonical_json(payload) -> str:
+    """The canonical compact serialisation used for hashing and caching.
+
+    Sorted keys and no whitespace, so two semantically equal documents
+    always produce identical bytes — the property the content-addressed
+    cache key depends on.  ``allow_nan=False`` keeps the output strict
+    JSON (use :func:`encode_curve` for arrays that may hold ``inf``).
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def result_from_dict(payload: dict):
+    """Rebuild a simulation result from its ``to_dict()`` document.
+
+    Dispatches on the ``kind`` field; the returned object satisfies
+    :class:`~repro.api.SimulationResult` and its own ``to_dict()``
+    reproduces ``payload`` exactly (round-trip identity).
+    """
+    if not isinstance(payload, dict):
+        raise ReproError(
+            f"result document must be a dict, got {type(payload).__name__}"
+        )
+    check_schema_version(payload)
+    kind = payload.get("kind")
+    if kind == "broadcast-trace":
+        from .radio.trace import BroadcastTrace
+
+        return BroadcastTrace.from_dict(payload)
+    if kind == "gossip-trace":
+        from .gossip.trace import GossipTrace
+
+        return GossipTrace.from_dict(payload)
+    if kind == "batch-broadcast":
+        from .radio.engine import BatchBroadcastResult
+
+        return BatchBroadcastResult.from_dict(payload)
+    if kind == "batch-gossip":
+        from .gossip.batch import BatchGossipResult
+
+        return BatchGossipResult.from_dict(payload)
+    known = ", ".join(RESULT_KINDS)
+    raise ReproError(f"unknown result kind {kind!r}; known kinds: {known}")

@@ -1,0 +1,315 @@
+"""The client surface: one API over HTTP and in-process transports.
+
+The top layer of the client/runner/types split.  A :class:`Client`
+wraps either a server address (``Client("http://127.0.0.1:8642")``) or
+a live :class:`~repro.serve.runner.JobManager` (``Client(manager)`` /
+``Client.local()``), and exposes the same three verbs either way:
+
+* :meth:`Client.simulate` — one dissemination run;
+* :meth:`Client.sweep` — a catalogued experiment sweep;
+* :meth:`Client.job` — look a submitted job up again;
+
+plus :meth:`Client.events` (the job's trace-event stream) and
+:meth:`Client.health`.  Every verb returns the same
+:class:`~repro.serve.types.JobStatus` a raw HTTP caller would parse, so
+switching a script between "embedded" and "remote" is a one-line
+constructor change.  :func:`load_result` lifts a finished simulate
+job's result document back into the rich trace object.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Iterator
+from urllib.parse import urlencode, urlsplit
+
+from ..errors import InvalidParameterError, JobQueueFullError, ServeError
+from .runner import JobManager, iter_job_events
+from .types import JobSpec, JobStatus, SweepSpec
+
+__all__ = ["Client", "load_result"]
+
+#: JobSpec fields that are not process params and so may appear as
+#: keyword arguments to :meth:`Client.simulate` alongside ``**params``.
+_SIMULATE_RESERVED = ("seed", "max_rounds", "backend")
+
+
+def load_result(status: JobStatus):
+    """Decode a finished job's result document into its rich object.
+
+    Simulate jobs come back as the trace/batch-result types
+    (:func:`repro.schema.result_from_dict`); sweep jobs come back as the
+    wire payload unchanged (outcome dicts embedding experiment results).
+    Raises :class:`~repro.errors.ServeError` on unfinished/failed jobs.
+    """
+    if not status.ok or status.result is None:
+        raise ServeError(
+            f"job {status.id} has no result (state={status.state!r}, "
+            f"error={status.error!r})"
+        )
+    if status.kind == "sweep":
+        return status.result
+    from ..schema import result_from_dict
+
+    return result_from_dict(status.result)
+
+
+class _HttpTransport:
+    """Blocking HTTP/1.1 calls against a job server (stdlib only)."""
+
+    def __init__(self, address: str, *, timeout: float = 600.0):
+        split = urlsplit(address)
+        if split.scheme not in ("http", ""):
+            raise InvalidParameterError(
+                f"only http:// addresses are supported, got {address!r}"
+            )
+        netloc = split.netloc or split.path  # allow bare "host:port"
+        if not netloc:
+            raise InvalidParameterError(f"bad server address {address!r}")
+        self.netloc = netloc
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> dict:
+        conn = HTTPConnection(self.netloc, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode() or "null")
+        except (OSError, ValueError) as exc:
+            raise ServeError(
+                f"request to {self.netloc}{path} failed: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+        if response.status == 429:
+            raise JobQueueFullError(self._error_of(payload, path))
+        if response.status >= 400:
+            raise ServeError(
+                f"server returned {response.status} for {path}: "
+                f"{self._error_of(payload, path)}"
+            )
+        return payload
+
+    @staticmethod
+    def _error_of(payload, path: str) -> str:
+        if isinstance(payload, dict) and "error" in payload:
+            return str(payload["error"])
+        return f"unexpected response body for {path}"
+
+    @staticmethod
+    def _wait_query(wait: float | None | bool) -> str:
+        if wait is False:
+            return ""
+        if wait is None or wait is True:
+            return "?" + urlencode({"wait": "true"})
+        return "?" + urlencode({"wait": wait})
+
+    def submit(self, spec, wait) -> JobStatus:
+        path = "/v1/sweeps" if isinstance(spec, SweepSpec) else "/v1/simulate"
+        body = json.dumps(spec.to_dict()).encode()
+        payload = self._request("POST", path + self._wait_query(wait), body)
+        return JobStatus.from_dict(payload)
+
+    def job(self, job_id: str, wait) -> JobStatus:
+        payload = self._request(
+            "GET", f"/v1/jobs/{job_id}" + self._wait_query(wait)
+        )
+        return JobStatus.from_dict(payload)
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        conn = HTTPConnection(self.netloc, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                body = response.read().decode() or "null"
+                raise ServeError(
+                    f"server returned {response.status} for events of "
+                    f"{job_id}: {self._error_of(json.loads(body), job_id)}"
+                )
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def close(self) -> None:
+        """Connections are per-call; nothing is held open."""
+
+
+class _InProcessTransport:
+    """The same verbs routed straight into a :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager, *, owns: bool):
+        self.manager = manager
+        self._owns = owns
+
+    def submit(self, spec, wait) -> JobStatus:
+        job = self.manager.submit(spec)
+        if wait is not False:
+            job.done.wait(None if wait is True else wait)
+        return job.status()
+
+    def _find(self, job_id: str):
+        job = self.manager.job(job_id)
+        if job is None:
+            raise ServeError(f"no such job: {job_id}")
+        return job
+
+    def job(self, job_id: str, wait) -> JobStatus:
+        job = self._find(job_id)
+        if wait is not False:
+            job.done.wait(None if wait is True else wait)
+        return job.status()
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        return iter_job_events(self._find(job_id))
+
+    def health(self) -> dict:
+        return {"ok": True, **self.manager.stats()}
+
+    def close(self) -> None:
+        if self._owns:
+            self.manager.shutdown()
+
+
+class Client:
+    """Submit simulations and sweeps, over HTTP or in process.
+
+    Parameters
+    ----------
+    target: a server address (``"http://host:port"`` or ``"host:port"``)
+        for the HTTP transport, an existing
+        :class:`~repro.serve.runner.JobManager` to drive in process, or
+        ``None`` for a private in-process manager (no cache) owned — and
+        shut down — by this client.  :meth:`Client.local` builds an
+        owned in-process client with a cache directory and worker count.
+
+    All submission verbs take ``wait``: ``True`` (default) blocks until
+    the job is terminal, ``False`` returns the queued/running status
+    immediately (poll with :meth:`job`), a float bounds the wait in
+    seconds.
+    """
+
+    def __init__(self, target: str | JobManager | None = None):
+        if target is None:
+            self._transport = _InProcessTransport(JobManager(), owns=True)
+        elif isinstance(target, JobManager):
+            self._transport = _InProcessTransport(target, owns=False)
+        elif isinstance(target, str):
+            self._transport = _HttpTransport(target)
+        else:
+            raise InvalidParameterError(
+                f"target must be an address, a JobManager or None, "
+                f"got {type(target).__name__}"
+            )
+
+    @classmethod
+    def local(
+        cls,
+        *,
+        cache=None,
+        workers: int = 2,
+        max_pending: int = 256,
+        obs=None,
+    ) -> "Client":
+        """An in-process client owning its manager (and cache)."""
+        client = cls.__new__(cls)
+        client._transport = _InProcessTransport(
+            JobManager(
+                cache=cache, workers=workers, max_pending=max_pending, obs=obs
+            ),
+            owns=True,
+        )
+        return client
+
+    # -- verbs ---------------------------------------------------------
+
+    def simulate(
+        self,
+        process: str,
+        graph: dict,
+        *,
+        wait: float | bool = True,
+        **params,
+    ) -> JobStatus:
+        """Submit one simulation.
+
+        ``seed``, ``max_rounds`` and ``backend`` are lifted into the
+        spec's top level; every other keyword (``protocol``, ``source``,
+        ``num_agents``, ...) becomes a process param.  The declarative
+        ``protocol`` spec is a ``{"kind": ...}`` mapping — see
+        :data:`repro.serve.runner.PROTOCOL_BUILDERS`.
+        """
+        reserved = {
+            name: params.pop(name, None) for name in _SIMULATE_RESERVED
+        }
+        spec = JobSpec(
+            process=process,
+            graph=dict(graph),
+            params=params,
+            seed=reserved["seed"],
+            max_rounds=reserved["max_rounds"],
+            backend=reserved["backend"],
+        )
+        return self.submit(spec, wait=wait)
+
+    def sweep(
+        self,
+        experiments,
+        *,
+        quick: bool = True,
+        seed: int = 0,
+        jobs: int = 1,
+        wait: float | bool = True,
+    ) -> JobStatus:
+        """Submit a catalogued experiment sweep."""
+        spec = SweepSpec(
+            experiments=tuple(experiments), quick=quick, seed=seed, jobs=jobs
+        )
+        return self.submit(spec, wait=wait)
+
+    def submit(self, spec, *, wait: float | bool = True) -> JobStatus:
+        """Submit an already-built :class:`JobSpec` / :class:`SweepSpec`."""
+        if not isinstance(spec, (JobSpec, SweepSpec)):
+            raise InvalidParameterError(
+                f"spec must be a JobSpec or SweepSpec, "
+                f"got {type(spec).__name__}"
+            )
+        return self._transport.submit(spec, wait)
+
+    def job(self, job_id: str, *, wait: float | bool = False) -> JobStatus:
+        """A submitted job's current status (optionally waiting)."""
+        return self._transport.job(job_id, wait)
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """The job's trace-event stream, followed to completion."""
+        return self._transport.events(job_id)
+
+    def health(self) -> dict:
+        """Server liveness plus headline counters."""
+        return self._transport.health()
+
+    def result(self, job_id: str, *, wait: float | bool = True):
+        """Wait for a job and decode its result (:func:`load_result`)."""
+        return load_result(self.job(job_id, wait=wait))
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Release the transport (shuts down an owned in-process manager)."""
+        self._transport.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

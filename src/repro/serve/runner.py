@@ -1,0 +1,474 @@
+"""Job execution: spec → result document, under a bounded worker bridge.
+
+The middle layer of the client/runner/types split.  Two halves:
+
+* **pure execution** — :func:`execute_spec` turns a validated
+  :class:`~repro.serve.types.JobSpec` / :class:`~repro.serve.types.SweepSpec`
+  into its schema-versioned result document by calling
+  :func:`repro.simulate` (simulate jobs) or
+  :func:`~repro.experiments.parallel.run_catalog_supervised` (sweeps).
+  No state, no I/O beyond the simulation itself — this is what the
+  in-process client and the HTTP server share.
+
+* **the JobManager** — admission, dedupe and supervision around that
+  execution.  Every submitted spec is canonicalised and hashed; a key
+  with a stored result is a **cache hit** (job born terminal, no
+  execution), a key already executing **coalesces** onto the in-flight
+  job (concurrent identical requests cost one execution), and a fresh
+  key is queued onto a bounded thread pool.  Each executing job runs
+  under its own :class:`~repro.obs.Observer` whose sink tees every
+  engine event (``run-*``, ``round``, ``batch-*``, ``exec-*``) into the
+  job's replayable event buffer — the stream behind
+  ``GET /v1/jobs/{id}/events`` — and whose registry is merged into the
+  manager's under lock at job end, emitting the ``serve.*`` metric
+  series (queue depth, cache hit ratio, job wall-time histograms).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from itertools import count
+from typing import Iterable
+
+from ..api import simulate
+from ..errors import InvalidParameterError, JobQueueFullError
+from ..obs import MetricsRegistry, Observer, current_observer, use_observer
+from ..obs.sinks import SCHEMA_VERSION
+from .cache import ResultCache
+from .types import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobSpec,
+    JobStatus,
+    SweepSpec,
+)
+
+__all__ = [
+    "build_protocol",
+    "execute_spec",
+    "Job",
+    "JobManager",
+]
+
+
+# ----------------------------------------------------------------------
+# Declarative protocol specs
+# ----------------------------------------------------------------------
+
+
+def _build_uniform(graph: dict, *, q: float):
+    from ..broadcast.distributed import UniformProtocol
+
+    return UniformProtocol(q)
+
+
+def _build_decay(graph: dict, *, n: int | None = None, phase_length=None):
+    from ..broadcast.distributed import DecayProtocol
+
+    return DecayProtocol(n if n is not None else graph["n"], phase_length=phase_length)
+
+
+def _build_eg(
+    graph: dict,
+    *,
+    n: int | None = None,
+    p: float | None = None,
+    strict_participation: bool = False,
+    selectivity: float = 1.0,
+):
+    from ..broadcast.distributed import EGRandomizedProtocol
+
+    return EGRandomizedProtocol(
+        n if n is not None else graph["n"],
+        p if p is not None else graph["p"],
+        strict_participation=strict_participation,
+        selectivity=selectivity,
+    )
+
+
+#: Wire protocol kinds → builders.  Builders receive the job's graph
+#: parameters so ``n``/``p`` default to the ambient graph's values.
+PROTOCOL_BUILDERS = {
+    "uniform": _build_uniform,
+    "decay": _build_decay,
+    "eg-randomized": _build_eg,
+}
+
+
+def build_protocol(spec: dict, graph: dict):
+    """Resolve a declarative protocol spec against the job's graph."""
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise InvalidParameterError(
+            "protocol spec must be a {'kind': ..., ...} mapping"
+        )
+    kind = spec["kind"]
+    builder = PROTOCOL_BUILDERS.get(kind)
+    if builder is None:
+        known = ", ".join(sorted(PROTOCOL_BUILDERS))
+        raise InvalidParameterError(
+            f"unknown protocol kind {kind!r}; known kinds: {known}"
+        )
+    kwargs = {key: value for key, value in spec.items() if key != "kind"}
+    try:
+        return builder(graph, **kwargs)
+    except TypeError as exc:
+        raise InvalidParameterError(
+            f"bad arguments for protocol kind {kind!r}: {exc}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Pure execution
+# ----------------------------------------------------------------------
+
+
+def execute_job(spec: JobSpec) -> dict:
+    """Run one simulate job and return its result document.
+
+    A round-budget miss returns the partial trace (the document records
+    ``completed`` per the result schema) rather than failing the job —
+    an incomplete run is a valid, cacheable answer to the question the
+    spec asked.
+    """
+    kwargs = dict(spec.params)
+    protocol_spec = kwargs.pop("protocol", None)
+    if protocol_spec is not None:
+        kwargs["protocol"] = build_protocol(protocol_spec, spec.graph)
+    result = simulate(
+        spec.process,
+        dict(spec.graph),
+        seed=spec.seed,
+        max_rounds=spec.max_rounds,
+        raise_on_incomplete=False,
+        backend=spec.backend,
+        **kwargs,
+    )
+    return result.to_dict()
+
+
+def execute_sweep(spec: SweepSpec) -> dict:
+    """Run a catalogued experiment sweep and return its wire payload."""
+    from ..experiments.parallel import outcomes_payload, run_catalog_supervised
+
+    outcomes = run_catalog_supervised(
+        list(spec.experiments),
+        quick=spec.quick,
+        seed=spec.seed,
+        jobs=spec.jobs,
+    )
+    return outcomes_payload(outcomes)
+
+
+def execute_spec(spec) -> dict:
+    """Dispatch either request shape to its executor."""
+    if isinstance(spec, JobSpec):
+        return execute_job(spec)
+    if isinstance(spec, SweepSpec):
+        return execute_sweep(spec)
+    raise InvalidParameterError(
+        f"spec must be a JobSpec or SweepSpec, got {type(spec).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Jobs and the manager
+# ----------------------------------------------------------------------
+
+
+class Job:
+    """One submitted request: lifecycle state plus a replayable event tape.
+
+    Thread-safe: the executing worker appends events and flips state
+    under the job's lock; HTTP handlers snapshot status and read event
+    windows concurrently.  ``done`` is set strictly *after* the final
+    ``serve-job-end`` event lands, so a reader that sees ``done`` and an
+    exhausted cursor has seen the whole tape.
+    """
+
+    def __init__(self, job_id: str, spec, key: str, *, cache: str = "miss"):
+        self.id = job_id
+        self.spec = spec
+        self.key = key
+        self.cache = cache
+        self.state = JOB_QUEUED
+        self.result: dict | None = None
+        self.error = ""
+        self.elapsed_s = 0.0
+        self.done = threading.Event()
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+
+    def append_event(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def events_since(self, cursor: int) -> tuple[list[dict], int]:
+        """Events from ``cursor`` on, plus the new cursor (for streaming)."""
+        with self._lock:
+            window = self._events[cursor:]
+        return window, cursor + len(window)
+
+    def num_events(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def status(self) -> JobStatus:
+        """An immutable snapshot of the job for the wire."""
+        return JobStatus(
+            id=self.id,
+            kind=self.spec.kind,
+            state=self.state,
+            spec=self.spec.to_dict(),
+            cache=self.cache,
+            error=self.error,
+            elapsed_s=self.elapsed_s,
+            events=self.num_events(),
+            result=self.result,
+        )
+
+
+class _JobTraceSink:
+    """Per-job tee: every event lands on the job's tape, then downstream."""
+
+    def __init__(self, job: Job, downstream=None):
+        self.job = job
+        self.downstream = downstream
+
+    def emit(self, event: dict) -> None:
+        self.job.append_event(event)
+        if self.downstream is not None:
+            self.downstream.emit(event)
+
+    def close(self) -> None:
+        """The job owns no sink resources; downstream is the manager's."""
+
+
+class JobManager:
+    """Admission, dedupe, caching and supervision for simulation jobs.
+
+    Parameters
+    ----------
+    cache: a :class:`~repro.serve.cache.ResultCache`, a directory path
+        for one, or ``None`` to serve without a cache (every request
+        executes; in-flight coalescing still applies).
+    workers: bounded thread-pool width for concurrent executions.
+    max_pending: admission bound on queued-or-running jobs; beyond it
+        :meth:`submit` raises :class:`~repro.errors.JobQueueFullError`
+        (HTTP 429) instead of growing an unserviceable backlog.
+    obs: optional external :class:`~repro.obs.Observer`: its registry
+        receives the ``serve.*`` series on top of the manager's own, and
+        its sink receives a tee of every job's events.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | str | None = None,
+        workers: int = 2,
+        max_pending: int = 256,
+        obs: Observer | None = None,
+    ):
+        if workers < 1:
+            raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+        if max_pending < 1:
+            raise InvalidParameterError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.registry = MetricsRegistry()
+        self._obs = obs if obs is not None else current_observer()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}
+        self._ids = count(1)
+        self._executions = 0
+        self._max_pending = max_pending
+        self._closed = False
+
+    # -- metrics (manager lock held) -----------------------------------
+
+    def _inc(self, name: str, *, label: str = "") -> None:
+        self.registry.inc(name, label=label)
+        if self._obs is not None:
+            self._obs.inc(name, label=label)
+
+    def _observe(self, name: str, value: float, *, label: str = "") -> None:
+        self.registry.observe(name, value, label=label)
+        if self._obs is not None:
+            self._obs.observe(name, value, label=label)
+
+    def _set_depth(self) -> None:
+        depth = float(len(self._inflight))
+        self.registry.set_gauge("serve.queue.depth", depth)
+        if self._obs is not None and self._obs.registry is not None:
+            self._obs.registry.set_gauge("serve.queue.depth", depth)
+
+    # -- public surface ------------------------------------------------
+
+    @property
+    def num_executions(self) -> int:
+        """Actual executions started — cache hits and coalesces excluded."""
+        with self._lock:
+            return self._executions
+
+    def submit(self, spec) -> Job:
+        """Admit one spec: cache hit, coalesce, or queue an execution."""
+        key = spec.cache_key()
+        with self._lock:
+            if self._closed:
+                raise JobQueueFullError("job manager is shut down")
+            self._inc("serve.requests", label=spec.kind)
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                # Identical spec already executing: one execution serves
+                # every concurrent caller.
+                self._inc("serve.cache.coalesced")
+                return inflight
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                self._inc("serve.cache.hits")
+                job = Job(self._next_id(), spec, key, cache="hit")
+                job.state = JOB_DONE
+                job.result = cached
+                job.done.set()
+                self._jobs[job.id] = job
+                return job
+            self._inc("serve.cache.misses")
+            if len(self._inflight) >= self._max_pending:
+                self._inc("serve.rejections")
+                raise JobQueueFullError(
+                    f"job queue is full ({self._max_pending} pending); "
+                    "retry later"
+                )
+            job = Job(self._next_id(), spec, key, cache="miss")
+            self._jobs[job.id] = job
+            self._inflight[key] = job
+            self._executions += 1
+            self._inc("serve.executions", label=spec.kind)
+            self._set_depth()
+        self._pool.submit(self._run, job)
+        return job
+
+    def job(self, job_id: str) -> Job | None:
+        """Look a job up by id (``None`` when unknown)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def stats(self) -> dict:
+        """Headline counters for ``GET /v1/healthz``."""
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "jobs": states,
+                "executions": self._executions,
+                "cache": {
+                    "hits": int(self.registry.counter_value("serve.cache.hits")),
+                    "misses": int(
+                        self.registry.counter_value("serve.cache.misses")
+                    ),
+                    "coalesced": int(
+                        self.registry.counter_value("serve.cache.coalesced")
+                    ),
+                    "entries": len(self.cache) if self.cache is not None else 0,
+                },
+            }
+
+    def wait(self, job: Job, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; False on timeout."""
+        return job.done.wait(timeout)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait, cancel_futures=True)
+
+    # -- execution (worker threads) ------------------------------------
+
+    def _next_id(self) -> str:
+        return f"job-{next(self._ids):06d}"
+
+    def _run(self, job: Job) -> None:
+        start = Observer.clock()
+        job.state = JOB_RUNNING
+        registry = MetricsRegistry()
+        downstream = self._obs.sink if self._obs is not None else None
+        sink = _JobTraceSink(job, downstream=downstream)
+        obs = Observer(registry, sink)
+        obs.emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "serve-job-start",
+                "job": job.id,
+                "spec": job.key,
+            }
+        )
+        try:
+            with use_observer(obs):
+                result = execute_spec(job.spec)
+        except Exception as exc:  # noqa: BLE001 — failures become job state
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = JOB_FAILED
+        else:
+            if self.cache is not None:
+                self.cache.put(job.key, result)
+            job.result = result
+            job.state = JOB_DONE
+        job.elapsed_s = Observer.clock() - start
+        obs.emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "serve-job-end",
+                "job": job.id,
+                "spec": job.key,
+                "state": job.state,
+                "wall_s": job.elapsed_s,
+            }
+        )
+        with self._lock:
+            self._inflight.pop(job.key, None)
+            self.registry.merge_snapshot(registry.snapshot())
+            if self._obs is not None and self._obs.registry is not None:
+                self._obs.registry.merge_snapshot(registry.snapshot())
+            self._inc("serve.jobs", label=job.state)
+            self._observe("serve.job_wall_s", job.elapsed_s, label=job.spec.kind)
+            self._set_depth()
+        # The tape is complete; only now may waiters observe `done`.
+        job.done.set()
+
+    # -- context management --------------------------------------------
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def iter_job_events(job: Job, *, poll_s: float = 0.02) -> Iterable[dict]:
+    """Follow a job's event tape to completion (blocking generator).
+
+    The in-process twin of ``GET /v1/jobs/{id}/events``: yields every
+    event in order, waiting for more while the job runs, and returns
+    once the job is terminal and the tape is drained.
+    """
+    cursor = 0
+    while True:
+        window, cursor = job.events_since(cursor)
+        yield from window
+        if job.done.is_set() and cursor == job.num_events():
+            return
+        job.done.wait(poll_s)

@@ -241,9 +241,10 @@ class TestUnifiedResultInterface:
             plain.completion_rounds, stats.completion_rounds
         )
 
-    def test_rounds_executed_deprecated(self, net, protocol):
+    def test_rounds_executed_removed(self, net, protocol):
+        # Deprecated in PR 4, removed in PR 9: num_rounds is the one name.
         broadcast = run_broadcast_batch(net, protocol, repetitions=4, seed=3)
         gossip = run_gossip_batch(net, protocol, repetitions=4, seed=3)
         for result in (broadcast, gossip):
-            with pytest.warns(DeprecationWarning, match="num_rounds"):
-                assert result.rounds_executed == result.num_rounds
+            assert not hasattr(result, "rounds_executed")
+            assert result.num_rounds >= 1

@@ -1,0 +1,79 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.serve.cache import ResultCache
+from repro.serve.types import JobSpec
+
+SPEC = JobSpec(
+    process="broadcast",
+    graph={"n": 30, "p": 0.3, "seed": 1},
+    params={"protocol": {"kind": "decay"}},
+    seed=5,
+)
+RESULT = {"schema_version": 1, "kind": "broadcast-trace", "n": 30}
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = SPEC.cache_key()
+        assert cache.get(key) is None
+        assert key not in cache
+        cache.put(key, RESULT)
+        assert cache.get(key) == RESULT
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_fanout_layout(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = SPEC.cache_key()
+        cache.put(key, RESULT)
+        path = cache.path_for(key)
+        assert path.parent.name == key[:2]
+        assert path.exists()
+
+    def test_corrupt_entry_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = SPEC.cache_key()
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(key) is None  # miss, not an exception
+        assert not path.exists()
+        corpses = list((tmp_path / "cache").rglob("*.corrupt"))
+        assert len(corpses) == 1
+        # The slot is reusable after quarantine.
+        cache.put(key, RESULT)
+        assert cache.get(key) == RESULT
+
+    def test_wrong_key_entry_quarantined(self, tmp_path):
+        # A tampered entry whose embedded key disagrees with its address
+        # must not be served.
+        cache = ResultCache(tmp_path / "cache")
+        key = SPEC.cache_key()
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {"schema_version": 1, "key": "0" * 64, "result": RESULT}
+            )
+        )
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(key) is None
+        assert list((tmp_path / "cache").rglob("*.corrupt"))
+
+    def test_wrong_schema_version_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = SPEC.cache_key()
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps({"schema_version": 999, "key": key, "result": RESULT})
+        )
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(key) is None
+        assert list((tmp_path / "cache").rglob("*.corrupt"))

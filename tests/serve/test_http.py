@@ -1,0 +1,164 @@
+"""Integration tests for the asyncio HTTP job server.
+
+One real server runs on a loopback port per fixture; requests go
+through the HTTP :class:`~repro.serve.client.Client` (and raw
+``http.client`` where the test is about wire details).
+"""
+
+import asyncio
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.errors import ServeError
+from repro.obs.sinks import validate_event
+from repro.schema import canonical_json
+from repro.serve import Client, JobManager, JobSpec, Server
+
+GRAPH = {"n": 30, "p": 0.3, "seed": 1}
+SIM_PAYLOAD = {
+    "process": "broadcast",
+    "graph": GRAPH,
+    "params": {"protocol": {"kind": "decay"}},
+    "seed": 7,
+    "max_rounds": 200,
+}
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A live server on an ephemeral port; yields (client, manager)."""
+    manager = JobManager(cache=tmp_path / "cache", workers=2)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    server = Server(manager=manager)
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(10)
+    try:
+        yield Client(server.address), manager
+    finally:
+        asyncio.run_coroutine_threadsafe(server.close(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        manager.shutdown()
+
+
+def _raw(client: Client, method: str, path: str, body: dict | None = None):
+    conn = HTTPConnection(client._transport.netloc, timeout=30)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode() or "null")
+    finally:
+        conn.close()
+
+
+class TestSimulateEndpoint:
+    def test_cold_then_warm_byte_identical(self, served):
+        client, manager = served
+        cold = client.submit(JobSpec.from_dict(SIM_PAYLOAD))
+        warm = client.submit(JobSpec.from_dict(SIM_PAYLOAD))
+        assert cold.ok and warm.ok
+        assert cold.cache == "miss" and warm.cache == "hit"
+        # The acceptance bar: warm is served from the cache (hit metric,
+        # no second execution) and the result JSON is byte-identical.
+        assert canonical_json(cold.result) == canonical_json(warm.result)
+        assert manager.num_executions == 1
+        assert manager.registry.counter_value("serve.cache.hits") == 1
+
+    def test_simulate_via_client_verb(self, served):
+        client, _ = served
+        status = client.simulate(
+            "broadcast",
+            GRAPH,
+            protocol={"kind": "eg-randomized"},
+            seed=3,
+            max_rounds=400,
+        )
+        assert status.ok
+        assert status.result["kind"] == "broadcast-trace"
+
+    def test_wait_false_returns_immediately(self, served):
+        client, _ = served
+        status = client.simulate(
+            "broadcast", GRAPH, protocol={"kind": "decay"}, seed=9, wait=False
+        )
+        assert status.state in ("queued", "running", "done")
+        final = client.job(status.id, wait=True)
+        assert final.ok
+
+    def test_sweep_posted_to_simulate_is_rejected(self, served):
+        client, _ = served
+        status, payload = _raw(
+            client, "POST", "/v1/simulate", {"experiments": ["E1"]}
+        )
+        assert status == 400
+        assert "simulate" in payload["error"]
+
+
+class TestJobEndpoints:
+    def test_events_stream_is_schema_valid(self, served):
+        client, _ = served
+        status = client.simulate(
+            "broadcast", GRAPH, protocol={"kind": "decay"}, seed=7, wait=False
+        )
+        events = list(client.events(status.id))  # follows to completion
+        assert events[0]["kind"] == "serve-job-start"
+        assert events[-1]["kind"] == "serve-job-end"
+        for event in events:
+            validate_event(event)
+
+    def test_unknown_job_is_404(self, served):
+        client, _ = served
+        status, payload = _raw(client, "GET", "/v1/jobs/job-999999")
+        assert status == 404
+        assert "job-999999" in payload["error"]
+        with pytest.raises(ServeError, match="404"):
+            client.job("job-999999")
+
+    def test_healthz(self, served):
+        client, _ = served
+        health = client.health()
+        assert health["ok"] is True
+        assert {"jobs", "executions", "cache"} <= set(health)
+
+
+class TestWireDetails:
+    def test_bad_json_body_is_400(self, served):
+        client, _ = served
+        conn = HTTPConnection(client._transport.netloc, timeout=30)
+        try:
+            conn.request("POST", "/v1/simulate", body=b"{nope")
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
+
+    def test_unknown_route_is_404(self, served):
+        client, _ = served
+        status, _payload = _raw(client, "GET", "/v1/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, served):
+        client, _ = served
+        status, _payload = _raw(client, "GET", "/v1/simulate")
+        assert status == 405
+        status, _payload = _raw(client, "POST", "/v1/healthz", {})
+        assert status == 405
+
+    def test_unknown_spec_fields_are_400(self, served):
+        client, _ = served
+        status, payload = _raw(
+            client, "POST", "/v1/simulate", {**SIM_PAYLOAD, "bogus": 1}
+        )
+        assert status == 400
+        assert "bogus" in payload["error"]
+
+    def test_failed_job_reports_error_state(self, served):
+        client, _ = served
+        status = client.simulate("nonsense", GRAPH, seed=1)
+        assert status.state == "failed"
+        assert status.error

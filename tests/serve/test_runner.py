@@ -1,0 +1,220 @@
+"""Unit tests for the JobManager: caching, coalescing, events, metrics."""
+
+import threading
+
+import pytest
+
+from repro.errors import JobQueueFullError
+from repro.obs import MemoryTraceSink, MetricsRegistry, Observer
+from repro.obs.sinks import validate_event
+from repro.schema import canonical_json
+from repro.serve.client import Client, load_result
+from repro.serve.runner import JobManager, iter_job_events
+from repro.serve.types import JobSpec
+
+GRAPH = {"n": 30, "p": 0.3, "seed": 1}
+
+
+def make_spec(**overrides) -> JobSpec:
+    fields = dict(
+        process="broadcast",
+        graph=dict(GRAPH),
+        params={"protocol": {"kind": "decay"}},
+        seed=7,
+        max_rounds=200,
+    )
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestCacheSemantics:
+    def test_resubmit_hits_cache_with_identical_bytes(self, tmp_path):
+        with JobManager(cache=tmp_path / "cache", workers=1) as manager:
+            cold = manager.submit(make_spec())
+            assert manager.wait(cold, timeout=30)
+            warm = manager.submit(make_spec())
+            assert warm.done.is_set()  # born terminal: no execution
+            assert cold.cache == "miss" and warm.cache == "hit"
+            assert canonical_json(cold.result) == canonical_json(warm.result)
+            assert manager.num_executions == 1
+            assert manager.registry.counter_value("serve.cache.hits") == 1
+
+    def test_differing_seeds_miss(self, tmp_path):
+        with JobManager(cache=tmp_path / "cache", workers=1) as manager:
+            first = manager.submit(make_spec(seed=1))
+            second = manager.submit(make_spec(seed=2))
+            assert manager.wait(first, timeout=30)
+            assert manager.wait(second, timeout=30)
+            assert first.key != second.key
+            assert manager.num_executions == 2
+            assert manager.registry.counter_value("serve.cache.hits") == 0
+            assert manager.registry.counter_value("serve.cache.misses") == 2
+
+    def test_backend_shares_cache_entry(self, tmp_path):
+        with JobManager(cache=tmp_path / "cache", workers=1) as manager:
+            cold = manager.submit(make_spec(backend=None))
+            assert manager.wait(cold, timeout=30)
+            warm = manager.submit(make_spec(backend="numpy"))
+            assert warm.cache == "hit"
+            assert manager.num_executions == 1
+
+    def test_concurrent_identical_specs_coalesce(self, monkeypatch, tmp_path):
+        # Pin the execution open so the second submit is guaranteed to
+        # arrive while the first is in flight.
+        release = threading.Event()
+        calls = []
+
+        def slow_execute(spec):
+            calls.append(spec)
+            release.wait(10)
+            return {"schema_version": 1, "kind": "broadcast-trace"}
+
+        monkeypatch.setattr(
+            "repro.serve.runner.execute_spec", slow_execute
+        )
+        with JobManager(cache=tmp_path / "cache", workers=2) as manager:
+            first = manager.submit(make_spec())
+            second = manager.submit(make_spec())
+            assert second is first  # the SAME job, not a twin
+            release.set()
+            assert manager.wait(first, timeout=10)
+            assert len(calls) == 1
+            assert manager.num_executions == 1
+            assert (
+                manager.registry.counter_value("serve.cache.coalesced") == 1
+            )
+
+
+class TestAdmission:
+    def test_queue_full_rejects(self, monkeypatch, tmp_path):
+        release = threading.Event()
+
+        def slow_execute(spec):
+            release.wait(10)
+            return {"schema_version": 1, "kind": "broadcast-trace"}
+
+        monkeypatch.setattr("repro.serve.runner.execute_spec", slow_execute)
+        with JobManager(cache=None, workers=1, max_pending=1) as manager:
+            manager.submit(make_spec(seed=1))
+            with pytest.raises(JobQueueFullError, match="full"):
+                manager.submit(make_spec(seed=2))
+            release.set()
+            assert manager.registry.counter_value("serve.rejections") == 1
+
+    def test_shutdown_refuses_new_work(self, tmp_path):
+        manager = JobManager(cache=None, workers=1)
+        manager.shutdown()
+        with pytest.raises(JobQueueFullError, match="shut down"):
+            manager.submit(make_spec())
+
+
+class TestFailures:
+    def test_failed_execution_becomes_job_state(self, monkeypatch, tmp_path):
+        def boom(spec):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr("repro.serve.runner.execute_spec", boom)
+        with JobManager(cache=tmp_path / "cache", workers=1) as manager:
+            job = manager.submit(make_spec())
+            assert manager.wait(job, timeout=10)
+            assert job.state == "failed"
+            assert "kaboom" in job.error
+            assert job.result is None
+            # Failures are never cached: a resubmit re-executes.
+            assert job.key not in manager.cache
+
+    def test_unknown_process_fails_cleanly(self, tmp_path):
+        with JobManager(cache=None, workers=1) as manager:
+            job = manager.submit(make_spec(process="nonsense"))
+            assert manager.wait(job, timeout=30)
+            assert job.state == "failed"
+            assert job.error
+
+
+class TestEventsAndMetrics:
+    def test_event_tape_is_schema_valid_and_bracketed(self, tmp_path):
+        with JobManager(cache=None, workers=1) as manager:
+            job = manager.submit(make_spec())
+            events = list(iter_job_events(job))
+            assert events[0]["kind"] == "serve-job-start"
+            assert events[-1]["kind"] == "serve-job-end"
+            assert events[-1]["state"] == "done"
+            assert any(e["kind"] == "run-start" for e in events)
+            assert any(e["kind"] == "round" for e in events)
+            for event in events:
+                validate_event(event)
+            # serve-job events carry the content address, so a stream
+            # consumer can correlate jobs with cache entries.
+            assert events[0]["spec"] == job.key
+
+    def test_cache_hit_job_has_empty_tape(self, tmp_path):
+        with JobManager(cache=tmp_path / "cache", workers=1) as manager:
+            cold = manager.submit(make_spec())
+            assert manager.wait(cold, timeout=30)
+            warm = manager.submit(make_spec())
+            assert list(iter_job_events(warm)) == []
+
+    def test_external_observer_sees_tee_and_serve_metrics(self, tmp_path):
+        sink = MemoryTraceSink()
+        obs = Observer(MetricsRegistry(), sink)
+        with JobManager(cache=None, workers=1, obs=obs) as manager:
+            job = manager.submit(make_spec())
+            assert manager.wait(job, timeout=30)
+        kinds = {event["kind"] for event in sink.events}
+        assert {"serve-job-start", "serve-job-end", "run-start"} <= kinds
+        assert obs.registry.counter_value("serve.requests", label="simulate") == 1
+        assert obs.registry.counter_value("serve.jobs", label="done") == 1
+        hist = obs.registry.histogram("serve.job_wall_s", label="simulate")
+        assert hist is not None and hist.count == 1
+        # Engine metrics from inside the job merge into the same registry.
+        assert (
+            obs.registry.counter_value("round.transmissions", label="broadcast")
+            > 0
+        )
+
+    def test_status_snapshot(self, tmp_path):
+        with JobManager(cache=None, workers=1) as manager:
+            job = manager.submit(make_spec())
+            assert manager.wait(job, timeout=30)
+            status = job.status()
+            assert status.ok and status.kind == "simulate"
+            assert status.events == job.num_events()
+            assert status.result["kind"] == "broadcast-trace"
+            stats = manager.stats()
+            assert stats["executions"] == 1
+            assert stats["jobs"] == {"done": 1}
+
+
+class TestInProcessClient:
+    def test_verbs_and_decode(self, tmp_path):
+        with Client.local(cache=tmp_path / "cache", workers=1) as client:
+            status = client.simulate(
+                "broadcast",
+                GRAPH,
+                protocol={"kind": "decay"},
+                seed=7,
+                max_rounds=200,
+            )
+            assert status.ok and status.cache == "miss"
+            trace = load_result(status)
+            assert trace.completed and trace.num_rounds >= 1
+            again = client.job(status.id)
+            assert again.id == status.id and again.ok
+            health = client.health()
+            assert health["ok"] and health["executions"] == 1
+            events = list(client.events(status.id))
+            assert events[0]["kind"] == "serve-job-start"
+
+    def test_gossip_process(self, tmp_path):
+        with Client.local(workers=1) as client:
+            status = client.simulate(
+                "gossip",
+                {"n": 16, "p": 0.4, "seed": 2},
+                protocol={"kind": "uniform", "q": 0.2},
+                seed=3,
+                max_rounds=400,
+            )
+            assert status.ok
+            assert status.result["kind"] == "gossip-trace"
+            trace = load_result(status)
+            assert trace.tokens == 16

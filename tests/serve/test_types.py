@@ -1,0 +1,129 @@
+"""Unit tests for the job-server wire types and their canonical forms."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.serve.types import (
+    JOB_SCHEMA_VERSION,
+    JobSpec,
+    JobStatus,
+    SweepSpec,
+    spec_from_dict,
+)
+
+GRAPH = {"n": 40, "p": 0.3, "seed": 1}
+
+
+def make_spec(**overrides) -> JobSpec:
+    fields = dict(
+        process="broadcast",
+        graph=dict(GRAPH),
+        params={"protocol": {"kind": "decay"}},
+        seed=7,
+        max_rounds=200,
+    )
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = make_spec()
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.cache_key() == spec.cache_key()
+
+    def test_cache_key_is_content_addressed(self):
+        assert make_spec().cache_key() == make_spec().cache_key()
+        assert make_spec(seed=8).cache_key() != make_spec().cache_key()
+        assert (
+            make_spec(params={"protocol": {"kind": "uniform", "q": 0.1}}).cache_key()
+            != make_spec().cache_key()
+        )
+
+    def test_backend_excluded_from_key(self):
+        # Backends are bit-identical, so they must not split the cache.
+        assert (
+            make_spec(backend="numpy").cache_key() == make_spec().cache_key()
+        )
+        assert "backend" not in make_spec(backend="numpy").canonical()
+
+    def test_unknown_fields_rejected(self):
+        payload = make_spec().to_dict()
+        payload["bogus"] = 1
+        with pytest.raises(InvalidParameterError, match="unknown fields"):
+            JobSpec.from_dict(payload)
+
+    def test_wrong_schema_version_rejected(self):
+        payload = make_spec().to_dict()
+        payload["schema_version"] = JOB_SCHEMA_VERSION + 1
+        with pytest.raises(InvalidParameterError, match="schema_version"):
+            JobSpec.from_dict(payload)
+
+    def test_non_jsonable_params_rejected(self):
+        with pytest.raises(InvalidParameterError, match="JSON-typed"):
+            make_spec(params={"x": object()})
+        with pytest.raises(InvalidParameterError, match="finite"):
+            make_spec(params={"x": float("inf")})
+
+    def test_protocol_must_be_mapping(self):
+        with pytest.raises(InvalidParameterError, match="protocol"):
+            make_spec(params={"protocol": "decay"})
+
+    def test_missing_process_rejected(self):
+        with pytest.raises(InvalidParameterError, match="process"):
+            JobSpec.from_dict({"graph": dict(GRAPH)})
+
+
+class TestSweepSpec:
+    def test_round_trip(self):
+        spec = SweepSpec(experiments=("E1", "E2"), quick=True, seed=3, jobs=2)
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_jobs_excluded_from_key(self):
+        # jobs=1 and jobs=N are byte-identical, so parallelism must not
+        # split the cache.
+        one = SweepSpec(experiments=("E1",), jobs=1)
+        four = SweepSpec(experiments=("E1",), jobs=4)
+        assert one.cache_key() == four.cache_key()
+        assert (
+            one.cache_key() != SweepSpec(experiments=("E1",), seed=9).cache_key()
+        )
+
+    def test_needs_experiments(self):
+        with pytest.raises(InvalidParameterError, match="experiment"):
+            SweepSpec(experiments=())
+
+
+class TestSpecFromDict:
+    def test_discriminates_on_experiments_field(self):
+        assert isinstance(
+            spec_from_dict({"experiments": ["E1"]}), SweepSpec
+        )
+        assert isinstance(
+            spec_from_dict({"process": "broadcast", "graph": dict(GRAPH)}),
+            JobSpec,
+        )
+
+
+class TestJobStatus:
+    def test_round_trip(self):
+        status = JobStatus(
+            id="job-000001",
+            kind="simulate",
+            state="done",
+            spec=make_spec().to_dict(),
+            cache="hit",
+            elapsed_s=0.5,
+            events=12,
+            result={"kind": "broadcast-trace"},
+        )
+        again = JobStatus.from_dict(status.to_dict())
+        assert again == status
+        assert again.done and again.ok
+
+    def test_failed_is_done_but_not_ok(self):
+        status = JobStatus(
+            id="j", kind="simulate", state="failed", spec={}, error="boom"
+        )
+        assert status.done and not status.ok
