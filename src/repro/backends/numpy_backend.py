@@ -22,17 +22,23 @@ volume:
 
 The crossover is governed by :attr:`NumpyBackend.scatter_cost` — the
 estimated cost of one gathered scatter endpoint in units of one matmul
-``nnz × R`` cell.  Historically a hard-coded 4; now calibrated once per
-process by :meth:`NumpyBackend.calibrate` (a ~10 ms timing of both
-paths on a synthetic circulant graph), overridable with the
-``REPRO_SCATTER_COST`` environment variable.  Calibration affects only
-*which* path runs — both paths return identical integer counts — so it
-never perturbs trajectories or digests.
+``nnz × R`` cell.  Historically a hard-coded 4; now calibrated once by
+:meth:`NumpyBackend.calibrate` (a ~10 ms timing of both paths on a
+synthetic circulant graph), overridable with the
+``REPRO_SCATTER_COST`` environment variable.  The measured value is
+**persisted** to ``~/.cache/repro/scatter_cost.json`` (override the
+directory with ``REPRO_CACHE_DIR``) so fresh processes — every serve
+worker, every fabric worker — skip the probe; the entry is keyed by
+numpy version and re-measured when numpy changes.  Calibration affects
+only *which* path runs — both paths return identical integer counts —
+so it never perturbs trajectories or digests.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 from time import perf_counter
 
 import numpy as np
@@ -48,6 +54,52 @@ _DEFAULT_SCATTER_COST = 4.0
 #: Calibration results are clamped into this range: a pathological
 #: timing environment must not be able to force one path forever.
 _SCATTER_COST_BOUNDS = (1.0, 32.0)
+
+#: Environment override for the on-disk calibration cache directory.
+_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_CALIBRATION_FILENAME = "scatter_cost.json"
+
+
+def _calibration_cache_path() -> Path:
+    root = os.environ.get(_CACHE_DIR_ENV)
+    base = Path(root) if root else Path.home() / ".cache" / "repro"
+    return base / _CALIBRATION_FILENAME
+
+
+def _load_calibration() -> float | None:
+    """The persisted crossover, or ``None`` when absent/stale/corrupt.
+
+    An entry written under a different numpy version is stale — the
+    relative cost of bincount vs CSR matmat shifts across releases —
+    and is ignored, forcing a fresh measurement.
+    """
+    try:
+        payload = json.loads(_calibration_cache_path().read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or payload.get("numpy") != np.__version__:
+        return None
+    cost = payload.get("scatter_cost")
+    if isinstance(cost, bool) or not isinstance(cost, (int, float)):
+        return None
+    lo, hi = _SCATTER_COST_BOUNDS
+    return min(max(float(cost), lo), hi)
+
+
+def _store_calibration(cost: float) -> None:
+    """Best-effort persist (atomic replace); the cache is an
+    optimisation, so an unwritable directory never fails calibration."""
+    path = _calibration_cache_path()
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps({"numpy": np.__version__, "scatter_cost": cost}) + "\n"
+        )
+        tmp.replace(path)
+    except OSError:
+        pass
 
 
 def _calibration_graph():
@@ -94,10 +146,13 @@ class NumpyBackend(KernelBackend):
     def calibrate(self, *, force: bool = False) -> float:
         """One-shot calibration of :attr:`scatter_cost`.
 
-        ``REPRO_SCATTER_COST`` (a float) skips the measurement; else both
-        paths are timed on a synthetic graph at a sparse transmitter
-        density and the per-unit cost ratio is taken, clamped into
-        ``[1, 32]``.  Idempotent unless ``force=True``.
+        ``REPRO_SCATTER_COST`` (a float) skips the measurement; else a
+        persisted measurement from a previous process is reused when
+        its numpy version still matches; else both paths are timed on a
+        synthetic graph at a sparse transmitter density, the per-unit
+        cost ratio is taken, clamped into ``[1, 32]``, and persisted
+        for the next process.  ``force=True`` re-measures (and
+        refreshes the persisted entry).
         """
         if self._scatter_cost is not None and not force:
             return self._scatter_cost
@@ -110,7 +165,13 @@ class NumpyBackend(KernelBackend):
             lo, hi = _SCATTER_COST_BOUNDS
             self._scatter_cost = min(max(cost, lo), hi)
             return self._scatter_cost
+        if not force:
+            cached = _load_calibration()
+            if cached is not None:
+                self._scatter_cost = cached
+                return cached
         self._scatter_cost = self._measure_scatter_cost()
+        _store_calibration(self._scatter_cost)
         return self._scatter_cost
 
     def _measure_scatter_cost(self) -> float:

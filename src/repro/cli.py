@@ -350,6 +350,40 @@ def build_parser() -> argparse.ArgumentParser:
             "submissions get HTTP 429 (default: 256)"
         ),
     )
+    p_serve.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "crash-safe job journal directory (defaults to --cache when "
+            "given): incomplete jobs replay on restart; omit both to "
+            "serve without crash recovery"
+        ),
+    )
+    p_serve.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="serve without a journal even when --cache is set",
+    )
+    p_serve.add_argument(
+        "--drain-s",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help=(
+            "graceful-drain budget on SIGTERM: in-flight jobs get this "
+            "many seconds to finish; the rest stay journaled (default: 30)"
+        ),
+    )
+    p_serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "JSON serve-chaos schedule (repro.serve.save_serve_chaos) "
+            "injecting execution holds and connection resets; test-only"
+        ),
+    )
 
     p_submit = sub.add_parser(
         "submit",
@@ -598,6 +632,12 @@ def main(argv: list[str] | None = None) -> int:
         def _ready(server) -> None:
             print(f"serving on {server.address}", flush=True)
 
+        journal = None if args.no_journal else (args.journal or args.cache)
+        chaos = None
+        if args.chaos is not None:
+            from .serve import load_serve_chaos
+
+            chaos = load_serve_chaos(args.chaos)
         try:
             serve_forever(
                 args.host,
@@ -605,6 +645,9 @@ def main(argv: list[str] | None = None) -> int:
                 cache=args.cache,
                 workers=args.serve_workers,
                 max_pending=args.max_pending,
+                journal=journal,
+                drain_s=args.drain_s,
+                chaos=chaos,
                 obs=obs,
                 ready=_ready,
             )

@@ -23,6 +23,9 @@ __all__ = [
     "BackendUnavailableError",
     "ServeError",
     "JobQueueFullError",
+    "JobCancelledError",
+    "JobDeadlineError",
+    "ServerDrainingError",
 ]
 
 
@@ -92,6 +95,35 @@ class JobQueueFullError(ServeError):
     it, new work is refused (HTTP 429) instead of queued without limit,
     so an overloaded server degrades by shedding load rather than by
     growing an unserviceable backlog.
+    """
+
+
+class JobCancelledError(ServeError):
+    """A job's cooperative cancellation request took effect.
+
+    Raised *inside* an executing job at a round/task boundary once
+    ``DELETE /v1/jobs/{id}`` (or :meth:`JobManager.cancel`) has flagged
+    it; the manager maps it to the ``cancelled`` terminal state rather
+    than letting it escape to callers.
+    """
+
+
+class JobDeadlineError(ServeError):
+    """A job exceeded its ``deadline_s`` budget.
+
+    Raised inside the executing job at a round/task boundary; the
+    manager maps it to the ``timeout`` terminal state and the worker
+    slot is freed for the next job.
+    """
+
+
+class ServerDrainingError(ServeError):
+    """The job manager is draining (or shut down) and admits no new work.
+
+    HTTP surfaces map this to 503 with a ``Retry-After`` header: unlike
+    the 429 of :class:`JobQueueFullError` (overload, retry soon), a
+    drain means the process is going away — retry against its
+    replacement.
     """
 
 

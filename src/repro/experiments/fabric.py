@@ -237,6 +237,11 @@ def run_worker(
                 message = channel.recv()
             except OSError:
                 return 0
+            except ValueError:
+                # Corrupt or unauthenticated stream (HMAC mismatch /
+                # missing tag): drop the connection rather than keep
+                # decoding garbage.
+                return 0
             if message is None or message.get("kind") == MSG_BYE:
                 return 0
             if message.get("kind") != MSG_TASK:

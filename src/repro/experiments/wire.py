@@ -23,7 +23,15 @@ fabric can think entirely in messages:
   every send, so dropped / delayed / duplicated messages and partition
   windows are injected below the fabric's own logic.  The healthy
   channel is the zero-fault special case, like every other fault model
-  in this codebase.
+  in this codebase;
+* **authentication** — with ``REPRO_FABRIC_SECRET`` set (both ends),
+  every frame carries an HMAC-SHA256 tag over its payload; a missing or
+  mismatched tag raises :class:`ValueError`, which both the coordinator
+  and the worker treat as a corrupt stream and answer by dropping the
+  connection.  This hardens the trusted-cluster stance: pickle still
+  makes the fabric unsuitable for hostile networks, but a shared secret
+  stops accidental cross-talk and casual frame injection on a shared
+  lab segment.  Authenticity, not secrecy — frames stay plaintext.
 
 Message construction helpers stamp the ``kind`` field; everything else
 is plain dict keys, kept flat so messages remain cheap to construct and
@@ -32,6 +40,9 @@ inspect.
 
 from __future__ import annotations
 
+import hashlib
+import hmac as hmac_mod
+import os
 import pickle
 import socket
 import struct
@@ -47,6 +58,8 @@ __all__ = [
     "MSG_BYE",
     "MSG_GOODBYE",
     "MAX_FRAME_BYTES",
+    "FABRIC_SECRET_ENV",
+    "fabric_secret",
     "encode_frame",
     "FrameDecoder",
     "FramedChannel",
@@ -74,12 +87,47 @@ MSG_GOODBYE = "goodbye"
 #: hostile stream and the connection is dropped instead of allocated for.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
+#: Environment variable holding the shared fabric secret.  When set on
+#: both ends, every frame is tagged and verified with HMAC-SHA256.
+FABRIC_SECRET_ENV = "REPRO_FABRIC_SECRET"
+
+#: HMAC-SHA256 digest size — the tag prepended to authenticated frames.
+_TAG_BYTES = hashlib.sha256().digest_size
+
 _LENGTH = struct.Struct(">I")
 
+#: Sentinel for "use the environment's secret" (distinct from ``None``,
+#: which explicitly disables authentication).
+_ENV_SECRET = object()
 
-def encode_frame(message: dict) -> bytes:
-    """One message as its on-wire bytes (length prefix + pickle)."""
+
+def fabric_secret() -> bytes | None:
+    """The ambient shared secret, or ``None`` when unset/empty."""
+    value = os.environ.get(FABRIC_SECRET_ENV)
+    if not value:
+        return None
+    return value.encode()
+
+
+def _resolve_secret(secret) -> bytes | None:
+    if secret is _ENV_SECRET:
+        return fabric_secret()
+    if secret is None:
+        return None
+    return secret.encode() if isinstance(secret, str) else bytes(secret)
+
+
+def encode_frame(message: dict, *, secret=_ENV_SECRET) -> bytes:
+    """One message as its on-wire bytes (length prefix [+ tag] + pickle).
+
+    With a secret, the frame body is ``HMAC-SHA256(secret, blob) ||
+    blob`` — the length prefix covers tag and payload together, so the
+    frame layout stays a single length-delimited unit either way.
+    """
+    key = _resolve_secret(secret)
     blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if key is not None:
+        blob = hmac_mod.new(key, blob, hashlib.sha256).digest() + blob
     if len(blob) > MAX_FRAME_BYTES:
         raise ValueError(f"frame of {len(blob)} bytes exceeds MAX_FRAME_BYTES")
     return _LENGTH.pack(len(blob)) + blob
@@ -91,10 +139,17 @@ class FrameDecoder:
     Feed it whatever ``recv`` returned; it yields every complete message
     and buffers the tail.  One decoder per connection — frames from
     different sockets must never interleave.
+
+    With a secret (defaulting to the ``REPRO_FABRIC_SECRET``
+    environment), every frame must verify: a missing or mismatched tag
+    raises :class:`ValueError`, as does an undecodable payload — the
+    callers' existing corrupt-stream handling drops the connection for
+    both.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, secret=_ENV_SECRET) -> None:
         self._buffer = bytearray()
+        self.secret = _resolve_secret(secret)
 
     def feed(self, data: bytes) -> list[dict]:
         """Absorb ``data``; return all messages completed by it."""
@@ -113,7 +168,27 @@ class FrameDecoder:
                 return messages
             blob = bytes(self._buffer[_LENGTH.size:end])
             del self._buffer[:end]
-            messages.append(pickle.loads(blob))
+            if self.secret is not None:
+                if len(blob) < _TAG_BYTES:
+                    raise ValueError(
+                        "authenticated frame too short for its tag; "
+                        "peer is missing REPRO_FABRIC_SECRET?"
+                    )
+                tag, blob = blob[:_TAG_BYTES], blob[_TAG_BYTES:]
+                expected = hmac_mod.new(
+                    self.secret, blob, hashlib.sha256
+                ).digest()
+                if not hmac_mod.compare_digest(tag, expected):
+                    raise ValueError(
+                        "frame auth tag mismatch; dropping connection"
+                    )
+            try:
+                message = pickle.loads(blob)
+            except Exception as exc:  # noqa: BLE001 — any decode failure
+                # is a corrupt (or differently-secured) stream; normalise
+                # so callers have one exception type to drop on.
+                raise ValueError(f"undecodable frame: {exc}") from exc
+            messages.append(message)
 
 
 class FramedChannel:
@@ -136,10 +211,11 @@ class FramedChannel:
     keeps the receive path allocation-free.
     """
 
-    def __init__(self, sock: socket.socket, *, chaos=None):
+    def __init__(self, sock: socket.socket, *, chaos=None, secret=_ENV_SECRET):
         self.sock = sock
         self.chaos = chaos
-        self._decoder = FrameDecoder()
+        self.secret = _resolve_secret(secret)
+        self._decoder = FrameDecoder(secret=self.secret)
         self._send_lock = threading.Lock()
         self._mute_until = 0.0
         # One recv() chunk can decode several messages; the surplus
@@ -164,7 +240,7 @@ class FramedChannel:
                     time.sleep(action.seconds)
                 elif action.action == "duplicate":
                     copies = 2
-        frame = encode_frame(message)
+        frame = encode_frame(message, secret=self.secret)
         with self._send_lock:
             self.sock.sendall(frame * copies)
         return True

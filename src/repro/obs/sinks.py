@@ -37,10 +37,15 @@ full schema):
     (:mod:`repro.experiments.fabric`): worker membership, lease
     revocations and requeues, speculative steals, idempotent
     duplicate-result discards, and degradation to the local pool.
-``serve-job-start`` / ``serve-job-end``
+``serve-job-start`` / ``serve-job-cancelled`` / ``serve-job-end``
     job-server events from the simulation-as-a-service front door
     (:mod:`repro.serve`), bracketing each job's teed engine events in
-    the ``GET /v1/jobs/{id}/events`` stream.
+    the ``GET /v1/jobs/{id}/events`` stream; ``serve-job-cancelled``
+    precedes the ``serve-job-end`` of a job that ended ``cancelled``
+    or ``timeout``.
+``serve-drain-start`` / ``serve-drain-end``
+    graceful-drain brackets (SIGTERM → admission stops → in-flight
+    jobs get a bounded window; the rest stay journaled).
 
 :func:`validate_event` checks an event against this schema and is what
 the schema tests (and any external consumer) should use.
@@ -102,7 +107,10 @@ _REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     # (repro.serve); bracket each job's teed engine events and are the
     # first/last lines of `GET /v1/jobs/{id}/events`.  See docs/SERVICE.md.
     "serve-job-start": ("job", "spec"),
+    "serve-job-cancelled": ("job", "spec", "state"),
     "serve-job-end": ("job", "spec", "state", "wall_s"),
+    "serve-drain-start": ("inflight",),
+    "serve-drain-end": ("finished", "journaled", "wall_s"),
 }
 
 _INT_KEYS = frozenset(
@@ -131,6 +139,9 @@ _INT_KEYS = frozenset(
         "leases",
         "completed",
         "workers",
+        "inflight",
+        "finished",
+        "journaled",
     }
 )
 

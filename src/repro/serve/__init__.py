@@ -8,27 +8,39 @@ layered strictly:
   dataclasses and their canonical (hashable) forms;
 * :mod:`repro.serve.cache` — the content-addressed on-disk result
   cache, keyed by sha256 of the canonical spec;
+* :mod:`repro.serve.journal` — the crash-safe job journal (append-only
+  WAL) behind restart replay of incomplete jobs;
 * :mod:`repro.serve.runner` — spec execution plus the
   :class:`JobManager`: bounded admission, in-flight request
-  coalescing, cache fill, per-job event tapes and ``serve.*`` metrics;
+  coalescing, cache fill, deadlines and cooperative cancellation,
+  graceful drain, per-job event tapes and ``serve.*`` metrics;
 * :mod:`repro.serve.http` — the stdlib-only asyncio HTTP server
-  (``repro serve``);
+  (``repro serve``) with SIGTERM drain and journal recovery;
 * :mod:`repro.serve.client` — one :class:`Client` API over both the
-  HTTP and in-process transports (``repro submit``).
+  HTTP (retrying, reconnecting) and in-process transports
+  (``repro submit``);
+* :mod:`repro.serve.chaos` — deterministic server-side fault injection
+  for the serve-chaos suite.
 
-See docs/SERVICE.md for the wire contract and operational notes.
+See docs/SERVICE.md for the wire contract, resilience semantics and
+operational notes.
 """
 
 from .cache import ResultCache
+from .chaos import ServeChaos, load_serve_chaos, save_serve_chaos
 from .client import Client, load_result
 from .http import Server, serve_forever
+from .journal import JobJournal
 from .runner import Job, JobManager, build_protocol, execute_spec, iter_job_events
 from .types import (
+    JOB_CANCELLED,
     JOB_DONE,
     JOB_FAILED,
     JOB_QUEUED,
     JOB_RUNNING,
     JOB_SCHEMA_VERSION,
+    JOB_TIMEOUT,
+    TERMINAL_STATES,
     JobSpec,
     JobStatus,
     SweepSpec,
@@ -46,6 +58,10 @@ __all__ = [
     "execute_spec",
     "iter_job_events",
     "ResultCache",
+    "JobJournal",
+    "ServeChaos",
+    "load_serve_chaos",
+    "save_serve_chaos",
     "JobSpec",
     "SweepSpec",
     "JobStatus",
@@ -55,4 +71,7 @@ __all__ = [
     "JOB_RUNNING",
     "JOB_DONE",
     "JOB_FAILED",
+    "JOB_CANCELLED",
+    "JOB_TIMEOUT",
+    "TERMINAL_STATES",
 ]

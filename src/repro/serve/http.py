@@ -7,9 +7,13 @@ Routes (all JSON; see docs/SERVICE.md for the wire contract):
                            returns its :class:`~repro.serve.types.JobStatus`
 ``POST /v1/sweeps``        submit a :class:`~repro.serve.types.SweepSpec`
 ``GET /v1/jobs/{id}``      a job's current status (result inlined when done)
+``DELETE /v1/jobs/{id}``   request cooperative cancellation; returns the
+                           job's (possibly not-yet-terminal) status
 ``GET /v1/jobs/{id}/events``  NDJSON stream of the job's trace events,
                            following a running job to completion
 ``GET /v1/healthz``        liveness plus the manager's headline counters
+``GET /v1/readyz``         readiness: 200 while admitting, 503 once
+                           draining (load balancers stop routing here)
 ========================   ====================================================
 
 POST endpoints accept ``?wait=SECONDS`` (or ``wait=1`` to wait
@@ -23,18 +27,32 @@ connection (``Connection: close``), no TLS, no auth — a front door for
 trusted lab networks and CI, not the public internet.  Everything
 interesting lives in the :class:`~repro.serve.runner.JobManager`; this
 module only parses requests, maps errors to status codes
-(:class:`~repro.errors.JobQueueFullError` → 429, bad specs → 400,
-unknown jobs → 404) and frames responses.
+(:class:`~repro.errors.JobQueueFullError` → 429,
+:class:`~repro.errors.ServerDrainingError` → 503 + ``Retry-After``,
+bad specs → 400, unknown jobs → 404) and frames responses.
+
+:func:`serve_forever` additionally wires the resilience machinery:
+journal recovery before the listener binds, and a SIGTERM handler that
+drains gracefully — readiness flips to 503, in-flight jobs get a
+bounded finish window, the rest stay journaled for restart pickup (see
+docs/SERVICE.md → *Resilience semantics*).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import signal
 from urllib.parse import parse_qs, urlsplit
 
-from ..errors import InvalidParameterError, JobQueueFullError, ReproError
+from ..errors import (
+    InvalidParameterError,
+    JobQueueFullError,
+    ReproError,
+    ServerDrainingError,
+)
 from ..obs import Observer
+from .chaos import ServeChaos
 from .runner import Job, JobManager
 from .types import JobSpec, SweepSpec, spec_from_dict
 
@@ -42,6 +60,10 @@ __all__ = ["Server", "serve_forever"]
 
 #: Reject request bodies beyond this size (1 MiB is generous for specs).
 MAX_BODY_BYTES = 1 << 20
+
+#: ``Retry-After`` hint on 503s: drains are short — a replacement
+#: process (or the restarted one) should be admitting within seconds.
+RETRY_AFTER_S = 1
 
 _REASONS = {
     200: "OK",
@@ -51,6 +73,7 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -89,6 +112,8 @@ class Server:
         cache=None,
         workers: int = 2,
         max_pending: int = 256,
+        journal=None,
+        chaos: ServeChaos | None = None,
         obs: Observer | None = None,
     ):
         self.host = host
@@ -98,9 +123,17 @@ class Server:
             self._owns_manager = False
         else:
             self.manager = JobManager(
-                cache=cache, workers=workers, max_pending=max_pending, obs=obs
+                cache=cache,
+                workers=workers,
+                max_pending=max_pending,
+                journal=journal,
+                chaos=chaos,
+                obs=obs,
             )
             self._owns_manager = True
+        # Connection-level chaos (reset injection) rides the same
+        # schedule the manager holds, however the manager was supplied.
+        self.chaos = chaos if chaos is not None else self.manager.chaos
         self._server: asyncio.base_events.Server | None = None
 
     # -- lifecycle -----------------------------------------------------
@@ -138,6 +171,11 @@ class Server:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self.chaos is not None and self.chaos.on_connection():
+            # Injected connection reset: abort (RST) before any response
+            # bytes, which is what the retrying client must survive.
+            writer.transport.abort()
+            return
         try:
             await self._handle_request(reader, writer)
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -170,6 +208,13 @@ class Server:
             await self._send_json(writer, exc.status, {"error": str(exc)})
         except JobQueueFullError as exc:
             await self._send_json(writer, 429, {"error": str(exc)})
+        except ServerDrainingError as exc:
+            await self._send_json(
+                writer,
+                503,
+                {"error": str(exc)},
+                headers={"Retry-After": str(RETRY_AFTER_S)},
+            )
         except (InvalidParameterError, ReproError) as exc:
             await self._send_json(writer, 400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 — never kill the listener
@@ -207,14 +252,23 @@ class Server:
         return method, target, body
 
     async def _send_json(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        *,
+        headers: dict | None = None,
     ) -> None:
         body = _json_bytes(payload)
         reason = _REASONS.get(status, "Unknown")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + body)
@@ -237,15 +291,33 @@ class Server:
                 writer, 200, {"ok": True, **self.manager.stats()}
             )
             return
+        if path == "/v1/readyz":
+            if method != "GET":
+                raise _HttpError(405, f"{method} not allowed on {path}")
+            if self.manager.draining:
+                await self._send_json(
+                    writer,
+                    503,
+                    {"ready": False, "draining": True},
+                    headers={"Retry-After": str(RETRY_AFTER_S)},
+                )
+            else:
+                await self._send_json(
+                    writer, 200, {"ready": True, "draining": False}
+                )
+            return
         if path in ("/v1/simulate", "/v1/sweeps"):
             if method != "POST":
                 raise _HttpError(405, f"{method} not allowed on {path}")
             await self._submit(writer, path, query, body)
             return
         if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/") :]
+            if method == "DELETE" and not rest.endswith("/events"):
+                await self._cancel_job(writer, rest)
+                return
             if method != "GET":
                 raise _HttpError(405, f"{method} not allowed on {path}")
-            rest = path[len("/v1/jobs/") :]
             if rest.endswith("/events"):
                 await self._stream_events(writer, rest[: -len("/events")])
             else:
@@ -299,6 +371,19 @@ class Server:
             raise _HttpError(404, f"no such job: {job_id}")
         return job
 
+    async def _cancel_job(
+        self, writer: asyncio.StreamWriter, job_id: str
+    ) -> None:
+        """``DELETE /v1/jobs/{id}``: request cooperative cancellation.
+
+        Returns the job's current status immediately — cancellation
+        lands at the next round/task boundary, so callers poll (or
+        ``?wait=``) for the ``cancelled`` terminal state.
+        """
+        job = self._find_job(job_id)
+        self.manager.cancel(job.id)
+        await self._send_json(writer, 200, job.status().to_dict())
+
     async def _job_status(
         self, writer: asyncio.StreamWriter, job_id: str, query: dict
     ) -> None:
@@ -345,10 +430,21 @@ def serve_forever(
     cache=None,
     workers: int = 2,
     max_pending: int = 256,
+    journal=None,
+    drain_s: float = 30.0,
+    chaos: ServeChaos | None = None,
     obs: Observer | None = None,
     ready=None,
 ) -> None:
     """Run a job server until interrupted (the ``repro serve`` path).
+
+    With a ``journal``, incomplete jobs from a previous process are
+    replayed *before* the listener binds, so a restarted server is
+    already working through its backlog when traffic returns.  SIGTERM
+    triggers a graceful drain: readiness flips to 503, new submits are
+    refused with ``Retry-After``, in-flight jobs get ``drain_s``
+    seconds to finish, and whatever remains stays journaled for the
+    next process.  SIGINT/ctrl-C stays an immediate stop.
 
     ``ready``, when given, is called with the bound :class:`Server` once
     the listener is up — how the CLI prints the actual address and how
@@ -362,14 +458,40 @@ def serve_forever(
             cache=cache,
             workers=workers,
             max_pending=max_pending,
+            journal=journal,
+            chaos=chaos,
             obs=obs,
         )
+        server.manager.recover()
         await server.start()
+        loop = asyncio.get_running_loop()
+        sigterm = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, sigterm.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # platforms without loop signal handlers keep hard stop
         try:
             if ready is not None:
                 ready(server)
             assert server._server is not None
-            await server._server.serve_forever()
+            serving = asyncio.ensure_future(server._server.serve_forever())
+            stopping = asyncio.ensure_future(sigterm.wait())
+            try:
+                await asyncio.wait(
+                    {serving, stopping},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+            finally:
+                serving.cancel()
+                stopping.cancel()
+            if sigterm.is_set():
+                # Stragglers past the budget are cooperatively
+                # cancelled with their journal records left unpaired,
+                # so close() below does not hang on them and a restart
+                # picks them back up.
+                await loop.run_in_executor(
+                    None, server.manager.drain, drain_s
+                )
         except asyncio.CancelledError:
             pass
         finally:

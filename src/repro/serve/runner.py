@@ -22,6 +22,23 @@ The middle layer of the client/runner/types split.  Two halves:
   ``GET /v1/jobs/{id}/events`` — and whose registry is merged into the
   manager's under lock at job end, emitting the ``serve.*`` metric
   series (queue depth, cache hit ratio, job wall-time histograms).
+
+Resilience (see ``docs/SERVICE.md`` → *Resilience semantics*):
+
+* every admitted execution is journaled to an optional
+  :class:`~repro.serve.journal.JobJournal` *before* it runs, and its
+  terminal state afterwards; :meth:`JobManager.recover` re-admits the
+  incomplete remainder on restart, idempotently, via their
+  content-addressed keys;
+* jobs carry optional **deadlines** and support **cooperative
+  cancellation** — both are checked at round/task boundaries by the
+  job's trace sink (the engine emits an event per round, so the check
+  rides the tape for free) and surface as the ``timeout`` /
+  ``cancelled`` terminal states;
+* :meth:`JobManager.drain` stops admission
+  (:class:`~repro.errors.ServerDrainingError` → HTTP 503) and gives
+  in-flight jobs a bounded budget to finish; whatever remains is
+  already journaled for restart pickup.
 """
 
 from __future__ import annotations
@@ -29,21 +46,34 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from itertools import count
+from pathlib import Path
 from typing import Iterable
+from warnings import warn
 
 from ..api import simulate
-from ..errors import InvalidParameterError, JobQueueFullError
+from ..errors import (
+    InvalidParameterError,
+    JobCancelledError,
+    JobDeadlineError,
+    JobQueueFullError,
+    ServerDrainingError,
+)
 from ..obs import MetricsRegistry, Observer, current_observer, use_observer
 from ..obs.sinks import SCHEMA_VERSION
 from .cache import ResultCache
+from .chaos import ServeChaos
+from .journal import JobJournal
 from .types import (
+    JOB_CANCELLED,
     JOB_DONE,
     JOB_FAILED,
     JOB_QUEUED,
     JOB_RUNNING,
+    JOB_TIMEOUT,
     JobSpec,
     JobStatus,
     SweepSpec,
+    spec_from_dict,
 )
 
 __all__ = [
@@ -186,6 +216,12 @@ class Job:
     windows concurrently.  ``done`` is set strictly *after* the final
     ``serve-job-end`` event lands, so a reader that sees ``done`` and an
     exhausted cursor has seen the whole tape.
+
+    ``deadline`` is an absolute :meth:`Observer.clock` instant fixed at
+    admission (``deadline_s`` budgets the whole job, queue wait
+    included); ``cancel_event`` is the cooperative cancellation flag.
+    Both are enforced by :meth:`raise_if_interrupted`, which the job's
+    trace sink calls at every engine round/task boundary.
     """
 
     def __init__(self, job_id: str, spec, key: str, *, cache: str = "miss"):
@@ -198,8 +234,25 @@ class Job:
         self.error = ""
         self.elapsed_s = 0.0
         self.done = threading.Event()
+        self.cancel_event = threading.Event()
+        self.deadline: float | None = None
+        self.journaled = False
         self._events: list[dict] = []
         self._lock = threading.Lock()
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (takes effect next round)."""
+        self.cancel_event.set()
+
+    def raise_if_interrupted(self) -> None:
+        """Raise if this job has been cancelled or outran its deadline."""
+        if self.cancel_event.is_set():
+            raise JobCancelledError(f"job {self.id} cancelled")
+        if self.deadline is not None and Observer.clock() > self.deadline:
+            raise JobDeadlineError(
+                f"job {self.id} exceeded its deadline_s="
+                f"{self.spec.deadline_s} budget"
+            )
 
     def append_event(self, event: dict) -> None:
         with self._lock:
@@ -231,16 +284,26 @@ class Job:
 
 
 class _JobTraceSink:
-    """Per-job tee: every event lands on the job's tape, then downstream."""
+    """Per-job tee: every event lands on the job's tape, then downstream.
+
+    While ``armed``, each emit also runs the job's interruption check —
+    the engine emits an event per round (and the supervisor per task
+    fault/finish), so deadlines and cancellation piggyback on the event
+    stream with no engine changes.  The manager disarms the sink before
+    emitting terminal events, which must never themselves re-raise.
+    """
 
     def __init__(self, job: Job, downstream=None):
         self.job = job
         self.downstream = downstream
+        self.armed = False
 
     def emit(self, event: dict) -> None:
         self.job.append_event(event)
         if self.downstream is not None:
             self.downstream.emit(event)
+        if self.armed:
+            self.job.raise_if_interrupted()
 
     def close(self) -> None:
         """The job owns no sink resources; downstream is the manager's."""
@@ -258,6 +321,13 @@ class JobManager:
     max_pending: admission bound on queued-or-running jobs; beyond it
         :meth:`submit` raises :class:`~repro.errors.JobQueueFullError`
         (HTTP 429) instead of growing an unserviceable backlog.
+    journal: a :class:`~repro.serve.journal.JobJournal`, a directory
+        path for one, or ``None`` to run without crash recovery.  Call
+        :meth:`recover` after construction to replay incomplete jobs
+        from a previous process.
+    chaos: optional :class:`~repro.serve.chaos.ServeChaos` schedule —
+        deterministic fault injection for the chaos suite; never set in
+        production.
     obs: optional external :class:`~repro.obs.Observer`: its registry
         receives the ``serve.*`` series on top of the manager's own, and
         its sink receives a tee of every job's events.
@@ -269,6 +339,8 @@ class JobManager:
         cache: ResultCache | str | None = None,
         workers: int = 2,
         max_pending: int = 256,
+        journal: JobJournal | str | Path | None = None,
+        chaos: ServeChaos | None = None,
         obs: Observer | None = None,
     ):
         if workers < 1:
@@ -279,7 +351,11 @@ class JobManager:
             )
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
+        if journal is not None and not isinstance(journal, JobJournal):
+            journal = JobJournal(journal)
         self.cache = cache
+        self.journal = journal
+        self.chaos = chaos
         self.registry = MetricsRegistry()
         self._obs = obs if obs is not None else current_observer()
         self._pool = ThreadPoolExecutor(
@@ -292,6 +368,7 @@ class JobManager:
         self._executions = 0
         self._max_pending = max_pending
         self._closed = False
+        self._draining = False
 
     # -- metrics (manager lock held) -----------------------------------
 
@@ -311,6 +388,11 @@ class JobManager:
         if self._obs is not None and self._obs.registry is not None:
             self._obs.registry.set_gauge("serve.queue.depth", depth)
 
+    def _emit(self, event: dict) -> None:
+        """Manager-level event to the external observer's sink, if any."""
+        if self._obs is not None:
+            self._obs.emit(event)
+
     # -- public surface ------------------------------------------------
 
     @property
@@ -319,12 +401,27 @@ class JobManager:
         with self._lock:
             return self._executions
 
-    def submit(self, spec) -> Job:
-        """Admit one spec: cache hit, coalesce, or queue an execution."""
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` or :meth:`shutdown` stopped admission."""
+        with self._lock:
+            return self._draining or self._closed
+
+    def submit(self, spec, *, _journal: bool = True) -> Job:
+        """Admit one spec: cache hit, coalesce, or queue an execution.
+
+        ``_journal=False`` is the :meth:`recover` path: the replayed
+        execution's submit record already survives in the compacted
+        journal, so appending another would double it.
+        """
         key = spec.cache_key()
         with self._lock:
             if self._closed:
-                raise JobQueueFullError("job manager is shut down")
+                raise ServerDrainingError("job manager is shut down")
+            if self._draining:
+                raise ServerDrainingError(
+                    "job manager is draining; retry against a live server"
+                )
             self._inc("serve.requests", label=spec.kind)
             inflight = self._inflight.get(key)
             if inflight is not None:
@@ -349,6 +446,13 @@ class JobManager:
                     "retry later"
                 )
             job = Job(self._next_id(), spec, key, cache="miss")
+            if spec.deadline_s is not None:
+                job.deadline = Observer.clock() + spec.deadline_s
+            if self.journal is not None:
+                job.journaled = True
+                if _journal:
+                    self.journal.record_submit(key, spec.to_dict())
+                    self._inc("serve.journal.submits")
             self._jobs[job.id] = job
             self._inflight[key] = job
             self._executions += 1
@@ -356,6 +460,67 @@ class JobManager:
             self._set_depth()
         self._pool.submit(self._run, job)
         return job
+
+    def cancel(self, job_id: str) -> Job | None:
+        """Request cancellation of a job (``None`` when unknown).
+
+        Cooperative: the flag is checked before execution starts and at
+        every round/task boundary, so a running simulate job stops
+        within a round.  Already-terminal jobs are a no-op.  Note a
+        coalesced job is one shared execution — cancelling it cancels
+        it for every caller that coalesced onto it.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.done.is_set():
+                return job
+            job.cancel()
+            self._inc("serve.cancellations", label=job.spec.kind)
+        return job
+
+    def recover(self) -> list[Job]:
+        """Replay the journal's incomplete jobs from a previous process.
+
+        Each entry re-admits through the normal :meth:`submit` path, so
+        recovery is idempotent by content address: work whose result
+        reached the cache before the crash replays as an instant cache
+        hit (and is journal-terminated on the spot); work that never
+        finished simply executes again, producing the identical
+        document.  Entries whose spec no longer parses (schema drift)
+        are terminated as failed rather than replayed forever.
+        """
+        if self.journal is None:
+            return []
+        entries = self.journal.recover()
+        if self.journal.quarantined:
+            self._inc("serve.journal.quarantined")
+        replayed: list[Job] = []
+        for entry in entries:
+            try:
+                spec = spec_from_dict(entry.spec)
+            except InvalidParameterError as exc:
+                warn(
+                    f"journal entry {entry.key[:12]} no longer parses "
+                    f"({exc}); marking it failed",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.journal.record_terminal(entry.key, JOB_FAILED)
+                continue
+            job = self.submit(spec, _journal=False)
+            with self._lock:
+                self._inc("serve.journal.recovered", label=spec.kind)
+            if job.done.is_set():
+                # Born terminal (cache hit): the execution's result
+                # outlived the crash even though its terminal record
+                # did not.  Close the journal pair now.
+                self.journal.record_terminal(job.key, job.state)
+                with self._lock:
+                    self._inc("serve.journal.terminals", label=job.state)
+            replayed.append(job)
+        return replayed
 
     def job(self, job_id: str) -> Job | None:
         """Look a job up by id (``None`` when unknown)."""
@@ -375,6 +540,7 @@ class JobManager:
             return {
                 "jobs": states,
                 "executions": self._executions,
+                "draining": self._draining or self._closed,
                 "cache": {
                     "hits": int(self.registry.counter_value("serve.cache.hits")),
                     "misses": int(
@@ -391,10 +557,88 @@ class JobManager:
         """Block until the job is terminal; False on timeout."""
         return job.done.wait(timeout)
 
+    def drain(self, budget_s: float = 30.0) -> dict:
+        """Stop admission and give in-flight jobs a bounded finish window.
+
+        New submits raise :class:`~repro.errors.ServerDrainingError`
+        (HTTP 503 + ``Retry-After``) from the moment this is called.
+        Jobs still unfinished when the budget runs out are handed to
+        the journal: their terminal-record write is disarmed (so the
+        submit record stays unpaired and the next process's
+        :meth:`recover` re-admits them) and they are cooperatively
+        cancelled so their worker threads wind down at the next round
+        boundary instead of blocking process exit.  Returns a summary
+        dict (``inflight``/``finished``/``journaled``/``wall_s``).
+        """
+        start = Observer.clock()
+        with self._lock:
+            self._draining = True
+            inflight = list(self._inflight.values())
+        self._emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "serve-drain-start",
+                "inflight": len(inflight),
+            }
+        )
+        deadline = start + max(0.0, budget_s)
+        for job in inflight:
+            job.done.wait(max(0.0, deadline - Observer.clock()))
+        finished = sum(1 for job in inflight if job.done.is_set())
+        journaled = 0
+        for job in inflight:
+            if job.done.is_set():
+                continue
+            if job.journaled:
+                # Leave the submit record unpaired: the restarted
+                # manager replays this job.  Disarm *before* cancelling
+                # so the unwinding thread cannot write the terminal
+                # record first.
+                job.journaled = False
+                journaled += 1
+            job.cancel()
+        wall_s = Observer.clock() - start
+        with self._lock:
+            self._observe("serve.drain_s", wall_s)
+        self._emit(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "serve-drain-end",
+                "finished": finished,
+                "journaled": journaled,
+                "wall_s": wall_s,
+            }
+        )
+        return {
+            "inflight": len(inflight),
+            "finished": finished,
+            "journaled": journaled,
+            "wall_s": wall_s,
+        }
+
     def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool and resolve every job a waiter could block on.
+
+        Queued-but-never-started executions are cancelled out of the
+        pool and marked failed ("server shutting down") so ``wait()``
+        callers unblock instead of hanging until their timeout.  Their
+        journal submit records are deliberately left unpaired — a
+        restarted manager's :meth:`recover` picks the work back up.
+        """
         with self._lock:
             self._closed = True
         self._pool.shutdown(wait=wait, cancel_futures=True)
+        with self._lock:
+            for job in self._jobs.values():
+                if job.done.is_set():
+                    continue
+                if job.state == JOB_QUEUED:
+                    job.error = "server shutting down"
+                    job.state = JOB_FAILED
+                    self._inflight.pop(job.key, None)
+                    self._inc("serve.jobs", label=job.state)
+                    job.done.set()
+            self._set_depth()
 
     # -- execution (worker threads) ------------------------------------
 
@@ -403,7 +647,6 @@ class JobManager:
 
     def _run(self, job: Job) -> None:
         start = Observer.clock()
-        job.state = JOB_RUNNING
         registry = MetricsRegistry()
         downstream = self._obs.sink if self._obs is not None else None
         sink = _JobTraceSink(job, downstream=downstream)
@@ -417,8 +660,26 @@ class JobManager:
             }
         )
         try:
-            with use_observer(obs):
-                result = execute_spec(job.spec)
+            # Cancelled (or deadline-expired) while still queued: skip
+            # the execution entirely.
+            job.raise_if_interrupted()
+            if self.chaos is not None:
+                self.chaos.on_execute()
+                job.raise_if_interrupted()
+            job.state = JOB_RUNNING
+            sink.armed = True
+            try:
+                with use_observer(obs):
+                    result = execute_spec(job.spec)
+            finally:
+                # Terminal events below must never re-raise.
+                sink.armed = False
+        except JobCancelledError as exc:
+            job.error = str(exc)
+            job.state = JOB_CANCELLED
+        except JobDeadlineError as exc:
+            job.error = str(exc)
+            job.state = JOB_TIMEOUT
         except Exception as exc:  # noqa: BLE001 — failures become job state
             job.error = f"{type(exc).__name__}: {exc}"
             job.state = JOB_FAILED
@@ -428,6 +689,16 @@ class JobManager:
             job.result = result
             job.state = JOB_DONE
         job.elapsed_s = Observer.clock() - start
+        if job.state in (JOB_CANCELLED, JOB_TIMEOUT):
+            obs.emit(
+                {
+                    "v": SCHEMA_VERSION,
+                    "kind": "serve-job-cancelled",
+                    "job": job.id,
+                    "spec": job.key,
+                    "state": job.state,
+                }
+            )
         obs.emit(
             {
                 "v": SCHEMA_VERSION,
@@ -438,6 +709,11 @@ class JobManager:
                 "wall_s": job.elapsed_s,
             }
         )
+        if self.journal is not None and job.journaled:
+            # Result (if any) is in the cache; the journal pair may
+            # close.  Crash before this line → restart replays the job,
+            # which is either a cache hit or a byte-identical re-run.
+            self.journal.record_terminal(job.key, job.state)
         with self._lock:
             self._inflight.pop(job.key, None)
             self.registry.merge_snapshot(registry.snapshot())
@@ -445,6 +721,8 @@ class JobManager:
                 self._obs.registry.merge_snapshot(registry.snapshot())
             self._inc("serve.jobs", label=job.state)
             self._observe("serve.job_wall_s", job.elapsed_s, label=job.spec.kind)
+            if self.journal is not None and job.journaled:
+                self._inc("serve.journal.terminals", label=job.state)
             self._set_depth()
         # The tape is complete; only now may waiters observe `done`.
         job.done.set()

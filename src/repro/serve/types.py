@@ -39,6 +39,9 @@ __all__ = [
     "JOB_RUNNING",
     "JOB_DONE",
     "JOB_FAILED",
+    "JOB_CANCELLED",
+    "JOB_TIMEOUT",
+    "TERMINAL_STATES",
     "JobSpec",
     "SweepSpec",
     "JobStatus",
@@ -48,11 +51,16 @@ __all__ = [
 #: Version of the job-spec wire layout (bump on incompatible change).
 JOB_SCHEMA_VERSION = 1
 
-#: Lifecycle states a job moves through (terminal: done / failed).
+#: Lifecycle states a job moves through.
 JOB_QUEUED = "queued"
 JOB_RUNNING = "running"
 JOB_DONE = "done"
 JOB_FAILED = "failed"
+JOB_CANCELLED = "cancelled"
+JOB_TIMEOUT = "timeout"
+
+#: States a job never leaves.  ``done`` is the only success.
+TERMINAL_STATES = (JOB_DONE, JOB_FAILED, JOB_CANCELLED, JOB_TIMEOUT)
 
 
 def _require(payload: dict, key: str, types, what: str):
@@ -99,6 +107,22 @@ def _check_jsonable(value, where: str) -> None:
     )
 
 
+def _check_deadline(value) -> float | None:
+    """Validate an optional ``deadline_s``: a positive finite number."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise InvalidParameterError(
+            f"deadline_s must be a number or null, got {type(value).__name__}"
+        )
+    value = float(value)
+    if not (value > 0) or value in (float("inf"), float("-inf")):
+        raise InvalidParameterError(
+            f"deadline_s must be a positive finite number, got {value!r}"
+        )
+    return value
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One ``repro.simulate()`` request, normalised for the wire.
@@ -121,6 +145,11 @@ class JobSpec:
     backend: optional kernel backend name.  **Excluded from the cache
         key**: backends are bit-identical, so it is a throughput hint,
         not part of the result's identity.
+    deadline_s: optional wall-clock budget, in seconds, enforced
+        cooperatively at round boundaries; an expired job ends in the
+        ``timeout`` terminal state.  **Excluded from the cache key**: a
+        timed-out job has no result, and a completed one is identical
+        whatever its budget was.
     """
 
     process: str
@@ -129,6 +158,7 @@ class JobSpec:
     seed: int | None = None
     max_rounds: int | None = None
     backend: str | None = None
+    deadline_s: float | None = None
 
     def __post_init__(self):
         if not isinstance(self.process, str) or not self.process:
@@ -154,6 +184,7 @@ class JobSpec:
                 f"backend must be a string or null, "
                 f"got {type(self.backend).__name__}"
             )
+        _check_deadline(self.deadline_s)
 
     @property
     def kind(self) -> str:
@@ -181,6 +212,7 @@ class JobSpec:
             "seed",
             "max_rounds",
             "backend",
+            "deadline_s",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -194,6 +226,7 @@ class JobSpec:
             seed=payload.get("seed"),
             max_rounds=payload.get("max_rounds"),
             backend=payload.get("backend"),
+            deadline_s=payload.get("deadline_s"),
         )
 
     def to_dict(self) -> dict:
@@ -206,6 +239,7 @@ class JobSpec:
             "seed": self.seed,
             "max_rounds": self.max_rounds,
             "backend": self.backend,
+            "deadline_s": self.deadline_s,
         }
 
     def canonical(self) -> dict:
@@ -240,13 +274,17 @@ class SweepSpec:
     ``jobs`` is the supervised executor's worker count and is excluded
     from the cache key: the executor guarantees ``jobs=1 ≡ jobs=N``
     byte-identity, so parallelism is a latency hint, not part of the
-    result's identity.
+    result's identity.  ``deadline_s`` is likewise excluded (see
+    :class:`JobSpec`); note sweep cancellation is coarse — the
+    supervisor only surfaces events at task-fault and sweep-end
+    boundaries, so a sweep's deadline/cancel check may lag by a task.
     """
 
     experiments: tuple[str, ...]
     quick: bool = True
     seed: int = 0
     jobs: int = 1
+    deadline_s: float | None = None
 
     def __post_init__(self):
         if not self.experiments:
@@ -262,6 +300,7 @@ class SweepSpec:
             )
         if not isinstance(self.jobs, int) or self.jobs < 1:
             raise InvalidParameterError(f"jobs must be an int >= 1, got {self.jobs!r}")
+        _check_deadline(self.deadline_s)
 
     @property
     def kind(self) -> str:
@@ -280,7 +319,14 @@ class SweepSpec:
                 f"sweep spec has schema_version {version!r}; "
                 f"this server speaks version {JOB_SCHEMA_VERSION}"
             )
-        known = {"schema_version", "experiments", "quick", "seed", "jobs"}
+        known = {
+            "schema_version",
+            "experiments",
+            "quick",
+            "seed",
+            "jobs",
+            "deadline_s",
+        }
         unknown = sorted(set(payload) - known)
         if unknown:
             raise InvalidParameterError(f"sweep spec has unknown fields {unknown}")
@@ -290,6 +336,7 @@ class SweepSpec:
             quick=bool(payload.get("quick", True)),
             seed=payload.get("seed", 0),
             jobs=payload.get("jobs", 1),
+            deadline_s=payload.get("deadline_s"),
         )
 
     def to_dict(self) -> dict:
@@ -300,6 +347,7 @@ class SweepSpec:
             "quick": self.quick,
             "seed": self.seed,
             "jobs": self.jobs,
+            "deadline_s": self.deadline_s,
         }
 
     def canonical(self) -> dict:
@@ -356,7 +404,7 @@ class JobStatus:
 
     @property
     def done(self) -> bool:
-        return self.state in (JOB_DONE, JOB_FAILED)
+        return self.state in TERMINAL_STATES
 
     @property
     def ok(self) -> bool:

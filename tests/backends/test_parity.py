@@ -144,6 +144,11 @@ class TestMatmulBuffer:
 
 
 class TestCalibration:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache_dir(self, tmp_path, monkeypatch):
+        # Keep the persisted-calibration cache out of the real home.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
     def test_calibrate_is_one_shot(self):
         backend = NumpyBackend()
         first = backend.calibrate()
@@ -165,6 +170,97 @@ class TestCalibration:
         monkeypatch.setenv("REPRO_SCATTER_COST", "not-a-float")
         backend = NumpyBackend()
         assert backend.calibrate() == numpy_backend_module._DEFAULT_SCATTER_COST
+
+    def test_measurement_is_persisted_and_reloaded(self, tmp_path, monkeypatch):
+        import json
+
+        cache_dir = tmp_path / "repro-cache"
+        first = NumpyBackend().calibrate()
+        payload = json.loads((cache_dir / "scatter_cost.json").read_text())
+        assert payload == {"numpy": np.__version__, "scatter_cost": first}
+        # A fresh process (instance) reuses the persisted value without
+        # measuring — the probe is rigged to blow up if consulted.
+        monkeypatch.setattr(
+            NumpyBackend,
+            "_measure_scatter_cost",
+            lambda self: pytest.fail("re-measured despite a valid cache"),
+        )
+        assert NumpyBackend().calibrate() == first
+
+    def test_numpy_version_mismatch_invalidates(self, tmp_path, monkeypatch):
+        import json
+
+        cache_dir = tmp_path / "repro-cache"
+        cache_dir.mkdir(parents=True)
+        (cache_dir / "scatter_cost.json").write_text(
+            json.dumps({"numpy": "0.0.0", "scatter_cost": 9.0})
+        )
+        monkeypatch.setattr(
+            NumpyBackend, "_measure_scatter_cost", lambda self: 5.0
+        )
+        assert NumpyBackend().calibrate() == 5.0
+        # The stale entry was refreshed under the current version.
+        payload = json.loads((cache_dir / "scatter_cost.json").read_text())
+        assert payload == {"numpy": np.__version__, "scatter_cost": 5.0}
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "{torn",  # crash mid-write
+            '["not", "a", "dict"]',
+            '{"numpy": null}',  # version mismatch
+            '{"numpy": "%s", "scatter_cost": true}',  # bool is not a cost
+        ],
+    )
+    def test_corrupt_cache_entries_remeasure(
+        self, tmp_path, monkeypatch, content
+    ):
+        cache_dir = tmp_path / "repro-cache"
+        cache_dir.mkdir(parents=True)
+        if "%s" in content:
+            content = content % np.__version__
+        (cache_dir / "scatter_cost.json").write_text(content)
+        monkeypatch.setattr(
+            NumpyBackend, "_measure_scatter_cost", lambda self: 6.0
+        )
+        assert NumpyBackend().calibrate() == 6.0
+
+    def test_persisted_value_is_clamped(self, tmp_path):
+        import json
+
+        cache_dir = tmp_path / "repro-cache"
+        cache_dir.mkdir(parents=True)
+        (cache_dir / "scatter_cost.json").write_text(
+            json.dumps({"numpy": np.__version__, "scatter_cost": 1e9})
+        )
+        _lo, hi = numpy_backend_module._SCATTER_COST_BOUNDS
+        assert NumpyBackend().calibrate() == hi
+
+    def test_force_refreshes_the_persisted_entry(self, tmp_path, monkeypatch):
+        import json
+
+        cache_dir = tmp_path / "repro-cache"
+        cache_dir.mkdir(parents=True)
+        (cache_dir / "scatter_cost.json").write_text(
+            json.dumps({"numpy": np.__version__, "scatter_cost": 9.0})
+        )
+        monkeypatch.setattr(
+            NumpyBackend, "_measure_scatter_cost", lambda self: 3.0
+        )
+        assert NumpyBackend().calibrate(force=True) == 3.0
+        payload = json.loads((cache_dir / "scatter_cost.json").read_text())
+        assert payload["scatter_cost"] == 3.0
+
+    def test_unwritable_cache_dir_is_tolerated(self, tmp_path, monkeypatch):
+        # Point the cache "directory" at a file: mkdir fails, the write
+        # is skipped, calibration still returns its measurement.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(blocker))
+        monkeypatch.setattr(
+            NumpyBackend, "_measure_scatter_cost", lambda self: 2.0
+        )
+        assert NumpyBackend().calibrate() == 2.0
 
     def test_calibration_does_not_change_counts(self, rng):
         adj = gnp(70, 0.15, seed=11)

@@ -188,6 +188,21 @@ class TestLoopbackFabric:
         # Executed on workers, not degraded: host is a worker identity.
         assert all(o.host not in ("", "local") for o in outcomes)
 
+    def test_authenticated_sweep_byte_identical(self, tmp_path, monkeypatch):
+        """With ``REPRO_FABRIC_SECRET`` in the environment, every frame
+        both ways carries an HMAC tag — spawned workers inherit the
+        secret and the sweep is byte-identical to the serial run."""
+        from repro.experiments.wire import FABRIC_SECRET_ENV
+
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "lab-segment-secret")
+        reference = serial_reference(6, tmp_path / "serial", seed=42)
+        outcomes = run_fabric_sweep(
+            counted_tasks(6, tmp_path / "fab"), seed=42, workers=2, **FAST
+        )
+        assert [o.result for o in outcomes] == reference
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+        assert all(o.host not in ("", "local") for o in outcomes)
+
     def test_worker_crash_mid_task_recovers(self, tmp_path):
         """``os._exit`` in a worker is a lost lease: charged, requeued,
         retried on the original child seed — results unchanged."""

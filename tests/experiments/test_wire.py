@@ -6,12 +6,14 @@ import pytest
 
 from repro.experiments.chaos import NetChaos, NetFault
 from repro.experiments.wire import (
+    FABRIC_SECRET_ENV,
     MAX_FRAME_BYTES,
     MSG_HEARTBEAT,
     MSG_RESULT,
     FrameDecoder,
     FramedChannel,
     encode_frame,
+    fabric_secret,
     format_address,
     parse_address,
 )
@@ -44,6 +46,77 @@ class TestFraming:
         decoder = FrameDecoder()
         with pytest.raises(ValueError, match="MAX_FRAME_BYTES"):
             decoder.feed(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_undecodable_payload_normalised_to_value_error(self):
+        import struct
+
+        decoder = FrameDecoder()
+        with pytest.raises(ValueError, match="undecodable frame"):
+            decoder.feed(struct.pack(">I", 4) + b"\x00ohno"[:4])
+
+
+class TestAuthentication:
+    def test_tagged_round_trip(self):
+        message = {"kind": MSG_RESULT, "index": 3}
+        decoder = FrameDecoder(secret="hunter2")
+        frame = encode_frame(message, secret="hunter2")
+        assert decoder.feed(frame) == [message]
+        # The tag really is on the wire: authenticated frames are one
+        # HMAC-SHA256 digest longer than plain ones.
+        assert len(frame) == len(encode_frame(message, secret=None)) + 32
+
+    def test_mismatched_secret_rejected(self):
+        frame = encode_frame({"kind": "task"}, secret="right")
+        decoder = FrameDecoder(secret="wrong")
+        with pytest.raises(ValueError, match="auth tag mismatch"):
+            decoder.feed(frame)
+
+    def test_untagged_frame_rejected_by_authenticated_peer(self):
+        frame = encode_frame({"k": 1}, secret=None)
+        decoder = FrameDecoder(secret="hunter2")
+        # A short plain frame cannot even hold a tag; a longer one fails
+        # the tag check.  Both normalise to ValueError.
+        with pytest.raises(ValueError):
+            decoder.feed(frame)
+
+    def test_tagged_frame_rejected_by_plain_peer(self):
+        frame = encode_frame({"kind": "task"}, secret="hunter2")
+        decoder = FrameDecoder(secret=None)
+        with pytest.raises(ValueError, match="undecodable frame"):
+            decoder.feed(frame)
+
+    def test_secret_defaults_to_environment(self, monkeypatch):
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "lab-segment")
+        assert fabric_secret() == b"lab-segment"
+        message = {"kind": MSG_HEARTBEAT}
+        assert FrameDecoder().feed(encode_frame(message)) == [message]
+        with pytest.raises(ValueError, match="auth tag mismatch"):
+            FrameDecoder(secret="other").feed(encode_frame(message))
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "")
+        assert fabric_secret() is None
+
+    def test_authenticated_channel_pair(self, monkeypatch):
+        monkeypatch.setenv(FABRIC_SECRET_ENV, "lab-segment")
+        left, right = socket.socketpair()
+        a, b = FramedChannel(left), FramedChannel(right)
+        try:
+            assert a.send({"kind": MSG_RESULT, "index": 9})
+            assert b.recv() == {"kind": MSG_RESULT, "index": 9}
+        finally:
+            a.close()
+            b.close()
+
+    def test_secret_mismatch_across_channel_drops(self):
+        left, right = socket.socketpair()
+        a = FramedChannel(left, secret="alpha")
+        b = FramedChannel(right, secret="beta")
+        try:
+            assert a.send({"kind": MSG_HEARTBEAT})
+            with pytest.raises(ValueError, match="auth tag mismatch"):
+                b.recv()
+        finally:
+            a.close()
+            b.close()
 
 
 class TestAddress:

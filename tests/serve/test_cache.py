@@ -66,6 +66,23 @@ class TestResultCache:
             assert cache.get(key) is None
         assert list((tmp_path / "cache").rglob("*.corrupt"))
 
+    def test_truncated_entry_from_crash_mid_write_quarantined(self, tmp_path):
+        # A process killed mid-write leaves a prefix of the entry: valid
+        # UTF-8, invalid JSON.  It must read as a miss, never a crash.
+        cache = ResultCache(tmp_path / "cache")
+        key = SPEC.cache_key()
+        cache.put(key, RESULT)
+        path = cache.path_for(key)
+        whole = path.read_bytes()
+        path.write_bytes(whole[: len(whole) // 2])
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(key) is None
+        assert key not in cache
+        assert list((tmp_path / "cache").rglob("*.corrupt"))
+        # The slot refills and serves again.
+        cache.put(key, RESULT)
+        assert cache.get(key) == RESULT
+
     def test_wrong_schema_version_quarantined(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         key = SPEC.cache_key()

@@ -1,0 +1,216 @@
+"""Serve-chaos acceptance: resilience promises proven on real processes.
+
+The deterministic harness (:class:`repro.serve.ServeChaos`) pins a job
+in flight long enough for the test to SIGKILL the server, then the
+restarted process — same cache and journal directories — must replay
+the job from its journal and produce the byte-identical result.  The
+unit half of this file covers the harness itself; the subprocess half
+is the acceptance bar the CI serve-chaos job re-runs against a packaged
+server.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.schema import canonical_json
+from repro.serve import (
+    Client,
+    JobJournal,
+    JobSpec,
+    ServeChaos,
+    load_serve_chaos,
+    save_serve_chaos,
+)
+from repro.serve.runner import execute_spec
+
+SPEC_PAYLOAD = {
+    "process": "broadcast",
+    "graph": {"n": 30, "p": 0.3, "seed": 1},
+    "params": {"protocol": {"kind": "decay"}},
+    "seed": 7,
+    "max_rounds": 200,
+}
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+class TestHarness:
+    def test_counters_survive_process_death(self, tmp_path):
+        # Two instances over one state_dir stand in for the server
+        # before and after a kill: the schedule resumes, not replays.
+        first = ServeChaos(tmp_path, hold_jobs=1, hold_s=0.0)
+        first.on_execute()  # consumes the single hold
+        second = ServeChaos(tmp_path, hold_jobs=1, hold_s=0.0)
+        t0 = time.monotonic()
+        second.on_execute()  # already spent: must not sleep
+        assert time.monotonic() - t0 < 0.5
+        assert (tmp_path / "serve-hold.count").read_text() == "2"
+
+    def test_connection_schedule(self, tmp_path):
+        chaos = ServeChaos(tmp_path, reset_connections=2)
+        assert chaos.on_connection() is True
+        assert chaos.on_connection() is True
+        assert chaos.on_connection() is False
+
+    def test_zero_schedule_is_free(self, tmp_path):
+        chaos = ServeChaos(tmp_path)
+        chaos.on_execute()
+        assert chaos.on_connection() is False
+        assert list(tmp_path.glob("*.count")) == []  # no counter files
+
+    def test_negative_counts_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 0"):
+            ServeChaos(tmp_path, hold_jobs=-1)
+
+    def test_spec_file_round_trip(self, tmp_path):
+        path = save_serve_chaos(
+            tmp_path / "chaos.json",
+            tmp_path / "state",
+            hold_jobs=3,
+            hold_s=1.5,
+            reset_connections=2,
+        )
+        chaos = load_serve_chaos(path)
+        assert chaos.state_dir == tmp_path / "state"
+        assert chaos.hold_jobs == 3
+        assert chaos.hold_s == 1.5
+        assert chaos.reset_connections == 2
+
+
+def _start_server(tmp_path: Path, log_name: str, *extra: str):
+    """One `repro serve` subprocess on an ephemeral port; returns
+    (process, base_url) once the listener has announced itself."""
+    log_path = tmp_path / log_name
+    env = {
+        **os.environ,
+        "PYTHONPATH": SRC_DIR + os.pathsep + os.environ.get("PYTHONPATH", ""),
+        "PYTHONUNBUFFERED": "1",
+    }
+    with open(log_path, "wb") as log:
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "0",
+                "--cache",
+                str(tmp_path / "cache"),
+                *extra,
+            ],
+            stdout=log,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        match = re.search(
+            rb"serving on (http://[\d.:]+)", log_path.read_bytes()
+        )
+        if match:
+            return process, match.group(1).decode()
+        if process.poll() is not None:
+            raise AssertionError(
+                f"server died at startup:\n{log_path.read_text()}"
+            )
+        time.sleep(0.05)
+    process.kill()
+    raise AssertionError(f"server never came up:\n{log_path.read_text()}")
+
+
+def _wait_for(predicate, timeout=30.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+@pytest.mark.slow
+class TestKillRestartReplay:
+    def test_sigkill_mid_job_replays_byte_identically(self, tmp_path):
+        spec = JobSpec.from_dict(SPEC_PAYLOAD)
+        reference = canonical_json(execute_spec(spec))
+        chaos_spec = save_serve_chaos(
+            tmp_path / "chaos.json",
+            tmp_path / "chaos-state",
+            hold_jobs=1,
+            hold_s=300.0,
+        )
+        hold_counter = tmp_path / "chaos-state" / "serve-hold.count"
+        journal = JobJournal(tmp_path / "cache", fsync=False)
+
+        server, url = _start_server(
+            tmp_path, "serve-1.log", "--chaos", str(chaos_spec)
+        )
+        try:
+            client = Client(url, backoff_s=0.05)
+            queued = client.submit(spec, wait=False)
+            assert not queued.done
+            # The hold counter appears the moment the execution reaches
+            # the worker — by then its submit record is journaled and
+            # the worker is pinned in the 300 s hold.  Kill it there.
+            _wait_for(hold_counter.exists, message="the held execution")
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=30)
+        finally:
+            if server.poll() is None:
+                server.kill()
+
+        # The corpse left an unpaired submit in the journal.
+        assert b'"op":"submit"' in journal.path.read_bytes()
+        assert b'"op":"terminal"' not in journal.path.read_bytes()
+
+        # Restart against the same cache/journal: the hold is already
+        # consumed, so recovery replays the job unheld, before serving.
+        server, url = _start_server(
+            tmp_path, "serve-2.log", "--chaos", str(chaos_spec)
+        )
+        try:
+            client = Client(url, backoff_s=0.05)
+            # An identical submit coalesces with the in-flight replay or
+            # hits the cache it filled — either way, the same bytes.
+            replayed = client.submit(spec, wait=True)
+            assert replayed.ok
+            assert canonical_json(replayed.result) == reference
+            health = client.health()
+            assert health["jobs"].get("done", 0) >= 1
+        finally:
+            server.send_signal(signal.SIGTERM)
+            try:
+                server.wait(timeout=30)
+            finally:
+                if server.poll() is None:
+                    server.kill()
+
+        # With the terminal record landed, a third recovery is a no-op.
+        assert journal.recover() == []
+
+
+@pytest.mark.slow
+class TestGracefulDrain:
+    def test_sigterm_drains_and_exits_cleanly(self, tmp_path):
+        server, url = _start_server(tmp_path, "serve.log", "--drain-s", "10")
+        client = Client(url, backoff_s=0.05)
+        try:
+            done = client.submit(JobSpec.from_dict(SPEC_PAYLOAD), wait=True)
+            assert done.ok
+            server.send_signal(signal.SIGTERM)
+            assert server.wait(timeout=30) == 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+        log = (tmp_path / "serve.log").read_text()
+        assert "serving on" in log

@@ -6,6 +6,7 @@ through the HTTP :class:`~repro.serve.client.Client` (and raw
 """
 
 import asyncio
+import contextlib
 import json
 import threading
 from http.client import HTTPConnection
@@ -15,7 +16,7 @@ import pytest
 from repro.errors import ServeError
 from repro.obs.sinks import validate_event
 from repro.schema import canonical_json
-from repro.serve import Client, JobManager, JobSpec, Server
+from repro.serve import Client, JobManager, JobSpec, ServeChaos, Server
 
 GRAPH = {"n": 30, "p": 0.3, "seed": 1}
 SIM_PAYLOAD = {
@@ -45,13 +46,40 @@ def served(tmp_path):
         manager.shutdown()
 
 
+@contextlib.contextmanager
+def live_server(**server_kwargs):
+    """A live server built with arbitrary kwargs; yields the Server."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    server = Server(**server_kwargs)
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(10)
+    try:
+        yield server
+    finally:
+        asyncio.run_coroutine_threadsafe(server.close(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        server.manager.shutdown()
+
+
 def _raw(client: Client, method: str, path: str, body: dict | None = None):
+    status, _headers, payload = _raw_full(client, method, path, body)
+    return status, payload
+
+
+def _raw_full(client: Client, method: str, path: str, body: dict | None = None):
     conn = HTTPConnection(client._transport.netloc, timeout=30)
     try:
         payload = json.dumps(body).encode() if body is not None else None
         conn.request(method, path, body=payload)
         response = conn.getresponse()
-        return response.status, json.loads(response.read().decode() or "null")
+        headers = dict(response.getheaders())
+        return (
+            response.status,
+            headers,
+            json.loads(response.read().decode() or "null"),
+        )
     finally:
         conn.close()
 
@@ -162,3 +190,84 @@ class TestWireDetails:
         status = client.simulate("nonsense", GRAPH, seed=1)
         assert status.state == "failed"
         assert status.error
+
+
+class TestResilienceEndpoints:
+    def test_readyz_flips_to_503_on_drain(self, served):
+        client, manager = served
+        status, headers, payload = _raw_full(client, "GET", "/v1/readyz")
+        assert status == 200
+        assert payload == {"ready": True, "draining": False}
+        manager.drain(budget_s=5.0)
+        status, headers, payload = _raw_full(client, "GET", "/v1/readyz")
+        assert status == 503
+        assert payload == {"ready": False, "draining": True}
+        assert headers.get("Retry-After") == "1"
+
+    def test_submit_during_drain_is_503_with_retry_after(self, served):
+        client, manager = served
+        manager.drain(budget_s=5.0)
+        status, headers, payload = _raw_full(
+            client, "POST", "/v1/simulate", SIM_PAYLOAD
+        )
+        assert status == 503
+        assert headers.get("Retry-After") == "1"
+        assert "draining" in payload["error"]
+        # A non-retrying client surfaces the 503 as a ServeError.
+        direct = Client(client._transport.netloc, retries=0)
+        with pytest.raises(ServeError, match="503"):
+            direct.submit(JobSpec.from_dict(SIM_PAYLOAD))
+
+    def test_delete_cancels_via_client_verb(self, served):
+        client, _ = served
+        slow = {
+            "process": "broadcast",
+            "graph": {"n": 200, "p": 0.05, "seed": 3},
+            "params": {"protocol": {"kind": "uniform", "q": 1e-9}},
+            "seed": 11,
+            "max_rounds": 50_000_000,
+        }
+        status = client.submit(JobSpec.from_dict(slow), wait=False)
+        final = client.cancel(status.id, wait=True)
+        assert final.state == "cancelled"
+        assert final.done and not final.ok
+
+    def test_delete_unknown_job_is_404(self, served):
+        client, _ = served
+        status, _payload = _raw(client, "DELETE", "/v1/jobs/job-999999")
+        assert status == 404
+
+    def test_deadline_over_http_times_out(self, served):
+        client, _ = served
+        status = client.simulate(
+            "broadcast",
+            {"n": 200, "p": 0.05, "seed": 3},
+            protocol={"kind": "uniform", "q": 1e-9},
+            seed=11,
+            max_rounds=50_000_000,
+            deadline_s=0.2,
+        )
+        assert status.state == "timeout"
+        assert "deadline" in status.error
+
+
+class TestClientRetries:
+    def test_client_survives_reset_connections(self, tmp_path):
+        chaos = ServeChaos(tmp_path / "chaos", reset_connections=2)
+        with live_server(cache=tmp_path / "cache", chaos=chaos) as server:
+            client = Client(server.address, backoff_s=0.01)
+            status = client.submit(JobSpec.from_dict(SIM_PAYLOAD))
+            assert status.ok and status.result is not None
+            assert client._transport.retried == 2
+        # The counter records every consulted connection: two aborted
+        # plus the one that finally got through.
+        counter = tmp_path / "chaos" / "serve-reset.count"
+        assert counter.read_text() == "3"
+
+    def test_retries_exhausted_raises(self, tmp_path):
+        chaos = ServeChaos(tmp_path / "chaos", reset_connections=100)
+        with live_server(cache=None, chaos=chaos) as server:
+            client = Client(server.address, retries=1, backoff_s=0.01)
+            with pytest.raises(ServeError, match="2 attempt"):
+                client.health()
+            assert client._transport.retried == 1

@@ -1,0 +1,147 @@
+"""Unit tests for the crash-safe job journal (WAL + recovery)."""
+
+import json
+
+import pytest
+
+from repro.serve.journal import JOURNAL_SCHEMA_VERSION, JobJournal
+
+
+def submit(journal, key, **spec_overrides):
+    spec = {"kind": "simulate", "process": "broadcast", "seed": 1}
+    spec.update(spec_overrides)
+    journal.record_submit(key, spec)
+    return spec
+
+
+class TestAppend:
+    def test_records_are_canonical_jsonl(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        submit(journal, "aaa")
+        journal.record_terminal("aaa", "done")
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first == {
+            "v": JOURNAL_SCHEMA_VERSION,
+            "op": "submit",
+            "key": "aaa",
+            "spec": {"kind": "simulate", "process": "broadcast", "seed": 1},
+        }
+        assert second == {
+            "v": JOURNAL_SCHEMA_VERSION,
+            "op": "terminal",
+            "key": "aaa",
+            "state": "done",
+        }
+        assert len(journal) == 2
+
+    def test_root_directory_is_created(self, tmp_path):
+        journal = JobJournal(tmp_path / "deep" / "nested")
+        submit(journal, "aaa")
+        assert journal.path.exists()
+
+
+class TestRecover:
+    def test_unpaired_submit_is_incomplete(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        spec = submit(journal, "aaa")
+        (entry,) = journal.recover()
+        assert entry.key == "aaa" and entry.spec == spec
+
+    def test_paired_submit_is_complete(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        submit(journal, "aaa")
+        journal.record_terminal("aaa", "done")
+        assert journal.recover() == []
+
+    def test_every_terminal_state_completes(self, tmp_path):
+        for state in ("done", "failed", "cancelled", "timeout"):
+            journal = JobJournal(tmp_path / state)
+            submit(journal, "aaa")
+            journal.record_terminal("aaa", state)
+            assert journal.recover() == []
+
+    def test_admission_order_is_preserved(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        for key in ("ccc", "aaa", "bbb"):
+            submit(journal, key)
+        submit(journal, "ddd")
+        journal.record_terminal("aaa", "done")
+        assert [e.key for e in journal.recover()] == ["ccc", "bbb", "ddd"]
+
+    def test_recover_compacts_the_file(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        for i in range(5):
+            submit(journal, f"k{i}", seed=i)
+            journal.record_terminal(f"k{i}", "done")
+        spec = submit(journal, "open")
+        (entry,) = journal.recover()
+        # Only the incomplete submit survives on disk...
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["op"] == "submit" and record["key"] == "open"
+        assert record["spec"] == spec
+        # ...so a later terminal append completes it for the next restart.
+        journal.record_terminal(entry.key, "done")
+        assert journal.recover() == []
+        assert journal.path.read_text() == ""
+
+    def test_duplicate_submits_collapse_to_one_entry(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        first = submit(journal, "aaa", seed=1)
+        submit(journal, "aaa", seed=1)
+        (entry,) = journal.recover()
+        assert entry.spec == first
+
+    def test_empty_and_missing_journal(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        assert journal.recover() == []
+        assert len(journal) == 0
+
+
+class TestCorruption:
+    def test_torn_tail_is_quarantined(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        submit(journal, "aaa")
+        # Crash mid-append: a partial record with no newline.
+        with open(journal.path, "a") as fh:
+            fh.write('{"v": 1, "op": "sub')
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            (entry,) = journal.recover()
+        assert entry.key == "aaa"  # the good prefix survives
+        assert journal.quarantined == 1
+        corrupt = journal.path.with_suffix(".jsonl.corrupt")
+        assert corrupt.read_bytes() == b'{"v": 1, "op": "sub'
+        # The journal itself is clean again: no warning on re-recovery.
+        assert len(journal.recover()) == 1
+
+    def test_garbage_line_truncates_from_there(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        submit(journal, "aaa")
+        with open(journal.path, "a") as fh:
+            fh.write("not json at all\n")
+        submit(journal, "bbb")  # after the corruption: not trusted
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            entries = journal.recover()
+        assert [e.key for e in entries] == ["aaa"]
+
+    def test_non_record_json_truncates(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        submit(journal, "aaa")
+        with open(journal.path, "a") as fh:
+            fh.write('["a", "list"]\n')
+        with pytest.warns(RuntimeWarning):
+            entries = journal.recover()
+        assert [e.key for e in entries] == ["aaa"]
+
+    def test_records_missing_keys_are_skipped(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        with open(journal.path, "a") as fh:
+            fh.write('{"op": "submit"}\n')  # no key
+            fh.write('{"op": "submit", "key": "x", "spec": 3}\n')  # bad spec
+            fh.write('{"op": "terminal", "key": ""}\n')  # empty key
+        submit(journal, "good")
+        (entry,) = journal.recover()
+        assert entry.key == "good"

@@ -74,6 +74,24 @@ class TestJobSpec:
         with pytest.raises(InvalidParameterError, match="process"):
             JobSpec.from_dict({"graph": dict(GRAPH)})
 
+    def test_deadline_round_trips(self):
+        spec = make_spec(deadline_s=2.5)
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec and again.deadline_s == 2.5
+
+    def test_deadline_excluded_from_key(self):
+        # A deadline budgets the execution; it must not split the cache —
+        # a completed job is identical whatever its budget was.
+        assert make_spec(deadline_s=5.0).cache_key() == make_spec().cache_key()
+        assert "deadline_s" not in make_spec(deadline_s=5.0).canonical()
+
+    @pytest.mark.parametrize(
+        "bad", [0, -1.0, float("inf"), float("nan"), True, "10"]
+    )
+    def test_invalid_deadlines_rejected(self, bad):
+        with pytest.raises(InvalidParameterError, match="deadline_s"):
+            make_spec(deadline_s=bad)
+
 
 class TestSweepSpec:
     def test_round_trip(self):
@@ -127,3 +145,14 @@ class TestJobStatus:
             id="j", kind="simulate", state="failed", spec={}, error="boom"
         )
         assert status.done and not status.ok
+
+    @pytest.mark.parametrize("state", ["cancelled", "timeout"])
+    def test_cancelled_and_timeout_are_terminal(self, state):
+        status = JobStatus(
+            id="j", kind="simulate", state=state, spec={}, error="stopped"
+        )
+        assert status.done and not status.ok
+
+    def test_running_is_not_done(self):
+        status = JobStatus(id="j", kind="simulate", state="running", spec={})
+        assert not status.done
